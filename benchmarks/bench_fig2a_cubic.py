@@ -1,0 +1,50 @@
+"""FIG2A: per-path throughput with uncoupled CUBIC, 100 ms sampling (Fig. 2a).
+
+The paper's Fig. 2(a) shows MPTCP-CUBIC first filling the default path (Path
+2) to the 40 Mbps bottleneck and then, within the 4-second window,
+redistributing rate across the three paths until the 90 Mbps optimum is
+reached.  The benchmark reruns that measurement on the simulator and checks
+the same qualitative shape.
+"""
+
+import pytest
+
+from conftest import report, series_preview
+
+from repro.experiments.figures import fig2a_cubic
+from repro.measure.report import comparison_row
+from repro.topologies.paper import PAPER_OPTIMAL_TOTAL
+
+
+def test_fig2a_cubic_100ms(benchmark):
+    data = benchmark.pedantic(fig2a_cubic, kwargs={"duration": 4.0}, rounds=1, iterations=1)
+    result = data.result
+    summary = result.summary()
+
+    # Qualitative claims of Fig. 2(a).
+    assert result.optimum.total == pytest.approx(PAPER_OPTIMAL_TOTAL)
+    assert summary["reached_optimum"], "CUBIC always reached the optimum in the paper"
+    assert summary["achieved_mean_mbps"] > 0.9 * PAPER_OPTIMAL_TOTAL
+    # Near the optimum the default path (Path 2) carries the smallest share.
+    tails = {tag: s.mean_over(2.0, 4.0) for tag, s in result.per_path_series.items()}
+    assert tails[2] < tails[1] < tails[3]
+
+    for tag in sorted(result.per_path_series):
+        series_preview(f"Path {tag}", result.per_path_series[tag])
+    series_preview("Total", result.total_series)
+
+    report(
+        "FIG2A (Fig. 2a: MPTCP with CUBIC, 100 ms sampling)",
+        [
+            comparison_row("FIG2A", "optimal total [Mbps]", 90, round(result.optimum.total, 1)),
+            comparison_row("FIG2A", "reaches optimum within 4 s", "yes", summary["reached_optimum"]),
+            comparison_row("FIG2A", "mean total, 2nd half [Mbps]", "~90",
+                           round(summary["achieved_mean_mbps"], 1)),
+            comparison_row("FIG2A", "time to optimum [s]", "< 4 (after rearranging)",
+                           summary["time_to_optimum_s"]),
+            comparison_row("FIG2A", "per-path split at the end [Mbps]", "(10, 30, 50) up to labelling",
+                           tuple(round(tails[tag], 1) for tag in sorted(tails))),
+            comparison_row("FIG2A", "stability (CV of total, 2nd half)", "unstable for short periods",
+                           round(summary["stability_cv"], 3)),
+        ],
+    )

@@ -1,0 +1,51 @@
+"""ABL-FLUID: fluid-model equilibria vs the packet-level measurement.
+
+The fluid model predicts the equilibrium rate split of each congestion-
+control family on the Fig. 1 constraints without packet simulation.  The
+benchmark times the fluid integration and cross-checks its ordering against
+the LP optimum.
+"""
+
+import pytest
+
+from conftest import report
+
+from repro.measure.report import comparison_row
+from repro.model.bottleneck import build_constraints
+from repro.model.fluid import compare_equilibria
+from repro.model.lp import max_total_throughput
+from repro.topologies.paper import paper_scenario
+
+ALGORITHMS = ("uncoupled", "lia", "olia")
+
+
+def run_fluid():
+    topology, paths = paper_scenario()
+    system = build_constraints(topology, paths, include_private_links=False)
+    return system, compare_equilibria(system, ALGORITHMS, duration=30.0)
+
+
+def test_fluid_equilibria(benchmark):
+    system, results = benchmark.pedantic(run_fluid, rounds=3, iterations=1)
+    optimum = max_total_throughput(system).total
+    totals = {name: result.mean_total() for name, result in results.items()}
+
+    # No fluid equilibrium exceeds the LP optimum (up to the model's slack).
+    assert all(total <= optimum * 1.02 for total in totals.values())
+    # Every algorithm achieves a substantial share of the optimum.
+    assert all(total >= 0.5 * optimum for total in totals.values())
+    # OLIA was designed to be Pareto-optimal in this regime.
+    assert totals["olia"] >= totals["uncoupled"] - 1.0
+
+    report(
+        "ABL-FLUID (fluid-model equilibria on the Fig. 1 constraints)",
+        [
+            comparison_row(
+                "ABL-FLUID",
+                f"{name}: equilibrium total [Mbps] (per-path)",
+                "LP optimum 90",
+                (round(totals[name], 1), tuple(round(r, 1) for r in results[name].mean_rates())),
+            )
+            for name in ALGORITHMS
+        ],
+    )

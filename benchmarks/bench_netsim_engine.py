@@ -1,0 +1,59 @@
+"""MICRO-ENGINE: substrate micro-benchmarks.
+
+Not a paper artefact -- these keep an eye on the cost of the simulation
+substrate itself: raw event throughput of the discrete-event engine and the
+cost of one simulated second of a saturated single TCP flow.
+"""
+
+from conftest import report
+
+from repro.measure.report import comparison_row
+from repro.netsim.engine import Simulator
+from repro.netsim.network import Network
+from repro.netsim.topology import Topology
+from repro.tcp.connection import TcpConnection
+
+
+def pump_events(count: int = 50_000) -> int:
+    sim = Simulator()
+
+    def tick(remaining: int) -> None:
+        if remaining > 0:
+            sim.schedule(0.0001, tick, remaining - 1)
+
+    for _ in range(50):
+        sim.schedule(0.0, tick, count // 50)
+    sim.run()
+    return sim.events_processed
+
+
+def single_tcp_second() -> int:
+    topology = Topology("micro")
+    topology.add_host("s")
+    topology.add_host("d")
+    topology.add_router("r")
+    topology.add_link("s", "r", 100.0, 0.001, 100)
+    topology.add_link("r", "d", 100.0, 0.001, 100)
+    network = Network(topology)
+    network.install_path(["s", "r", "d"], tag=1, as_default=True)
+    connection = TcpConnection(network, "s", "d", cc="cubic", tag=1)
+    connection.start(0.0)
+    network.run(1.0)
+    return network.sim.events_processed
+
+
+def test_engine_event_throughput(benchmark):
+    processed = benchmark(pump_events)
+    assert processed >= 50_000
+
+
+def test_single_tcp_simulated_second(benchmark):
+    events = benchmark.pedantic(single_tcp_second, rounds=3, iterations=1)
+    assert events > 10_000
+    report(
+        "MICRO-ENGINE (substrate cost)",
+        [
+            comparison_row("MICRO-ENGINE", "events per simulated second (1 TCP flow at 100 Mbps)",
+                           "(not a paper metric)", events),
+        ],
+    )

@@ -1,0 +1,57 @@
+"""RES-CC / RES-CONV: the Section 3 comparison of congestion controllers.
+
+The paper's findings: uncoupled CUBIC always reaches the 90 Mbps optimum
+(though with short unstable periods), LIA never reaches it, OLIA reaches it
+only in favourable configurations and converges slowest.  The benchmark runs
+all three (plus Reno as an extra uncoupled baseline) on the paper topology
+and prints the claims table.
+"""
+
+from conftest import report
+
+from repro.experiments.scenarios import cc_comparison
+from repro.measure.report import comparison_row
+from repro.topologies.paper import PAPER_OPTIMAL_TOTAL
+
+ALGORITHMS = ("cubic", "lia", "olia", "reno")
+DURATION = 4.0
+
+
+def run_comparison():
+    return cc_comparison(ALGORITHMS, duration=DURATION)
+
+
+def test_results_congestion_control_comparison(benchmark):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    summaries = {name: result.summary() for name, result in results.items()}
+
+    # RES-CC: the uncoupled default reaches the optimum, LIA does not.
+    assert summaries["cubic"]["reached_optimum"]
+    assert not summaries["lia"]["reached_optimum"]
+    assert summaries["lia"]["achieved_mean_mbps"] < summaries["cubic"]["achieved_mean_mbps"]
+    # Coupled algorithms stay meaningfully below the optimum within 4 s.
+    assert summaries["olia"]["achieved_mean_mbps"] < 0.97 * PAPER_OPTIMAL_TOTAL
+
+    rows = [
+        comparison_row("RES-CC", "CUBIC reaches optimum", "always",
+                       "yes" if summaries["cubic"]["reached_optimum"] else "no"),
+        comparison_row("RES-CC", "LIA reaches optimum", "never",
+                       "yes" if summaries["lia"]["reached_optimum"] else "no"),
+        comparison_row("RES-CC", "OLIA reaches optimum within 4 s", "no (Fig. 2b)",
+                       "yes" if summaries["olia"]["reached_optimum"] else "no"),
+    ]
+    for name in ALGORITHMS:
+        summary = summaries[name]
+        rows.append(
+            comparison_row(
+                "RES-CONV",
+                f"{name}: mean total / time-to-optimum / stability CV",
+                "CUBIC fast but unstable; LIA stable but low; OLIA slowest",
+                (
+                    round(summary["achieved_mean_mbps"], 1),
+                    summary["time_to_optimum_s"],
+                    round(summary["stability_cv"], 3),
+                ),
+            )
+        )
+    report("RES-CC / RES-CONV (Section 3 claims)", rows)

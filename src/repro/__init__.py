@@ -1,0 +1,100 @@
+"""repro -- reproduction of "The Performance of Multi-Path TCP with Overlapping Paths".
+
+The package provides four layers:
+
+* :mod:`repro.netsim` -- a discrete-event, packet-level network simulator
+  (the Mininet substitute): topologies, rate-limited links, drop-tail queues,
+  tag-based routing and tshark-like captures.
+* :mod:`repro.tcp` -- a packet-level TCP with Reno and CUBIC congestion
+  control, NewReno loss recovery and RTO handling.
+* :mod:`repro.core` -- MPTCP over pre-selected overlapping paths: tagged
+  subflows, path managers, schedulers and the coupled congestion-control
+  algorithms (LIA, OLIA, plus BALIA/wVegas extensions).
+* :mod:`repro.model` -- the analytical side: the throughput-maximisation LP
+  of Fig. 1c, greedy/max-min/proportional-fair baselines, Pareto analysis,
+  projected-gradient ascent and fluid models.
+
+Quickstart::
+
+    from repro import paper_experiment, run_experiment
+
+    result = run_experiment(paper_experiment("cubic", duration=4.0))
+    print(result.summary())
+"""
+
+from ._version import __version__
+from .core import MptcpConnection, Subflow, TagPathManager
+from .errors import (
+    ConfigurationError,
+    ModelError,
+    ProtocolError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    TopologyError,
+)
+from .experiments import (
+    ExperimentConfig,
+    ExperimentResult,
+    fig2a_cubic,
+    fig2b_olia,
+    fig2c_fine,
+    paper_experiment,
+    run_experiment,
+)
+from .model import (
+    Path,
+    PathSet,
+    build_constraints,
+    greedy_fill,
+    max_min_fair_rates,
+    max_total_throughput,
+)
+from .netsim import Network, PacketCapture, Simulator, Topology
+from .tcp import TcpConnection
+from .topologies import (
+    PAPER_DEFAULT_PATH_INDEX,
+    PAPER_OPTIMAL_RATES,
+    PAPER_OPTIMAL_TOTAL,
+    build_paper_topology,
+    paper_paths,
+    paper_scenario,
+)
+
+__all__ = [
+    "ConfigurationError",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ModelError",
+    "MptcpConnection",
+    "Network",
+    "PAPER_DEFAULT_PATH_INDEX",
+    "PAPER_OPTIMAL_RATES",
+    "PAPER_OPTIMAL_TOTAL",
+    "PacketCapture",
+    "Path",
+    "PathSet",
+    "ProtocolError",
+    "ReproError",
+    "RoutingError",
+    "SimulationError",
+    "Simulator",
+    "Subflow",
+    "TagPathManager",
+    "TcpConnection",
+    "Topology",
+    "TopologyError",
+    "__version__",
+    "build_constraints",
+    "build_paper_topology",
+    "fig2a_cubic",
+    "fig2b_olia",
+    "fig2c_fine",
+    "greedy_fill",
+    "max_min_fair_rates",
+    "max_total_throughput",
+    "paper_experiment",
+    "paper_paths",
+    "paper_scenario",
+    "run_experiment",
+]

@@ -1,0 +1,173 @@
+"""Command-line interface: ``mptcp-overlap``.
+
+Sub-commands:
+
+* ``lp``       -- print the Fig. 1c constraint system, its LP optimum and the
+                  greedy / max-min / proportionally-fair reference allocations.
+* ``figure``   -- regenerate one panel of Fig. 2 and plot it in the terminal.
+* ``compare``  -- run the congestion-control comparison (RES-CC) and print a
+                  summary table.
+* ``sweep``    -- run the OLIA default-path sweep (RES-OLIA-DEFAULT).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .core.coupled import MULTIPATH_ALGORITHMS, PAPER_ALGORITHMS
+from .experiments.ascii_plot import plot_figure
+from .experiments.figures import fig2a_cubic, fig2b_olia, fig2c_fine, figure_with_algorithm
+from .experiments.scenarios import cc_comparison, olia_default_path_sweep, summarize_results
+from .measure.report import format_table
+from .model.bottleneck import build_constraints
+from .model.greedy import greedy_fill
+from .model.lp import max_total_throughput, proportional_fair_rates
+from .model.maxmin import max_min_fair_rates
+from .topologies.paper import PAPER_DEFAULT_PATH_INDEX, paper_scenario
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mptcp-overlap",
+        description="Reproduction of 'The Performance of Multi-Path TCP with Overlapping Paths'",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    lp = subparsers.add_parser("lp", help="print the Fig. 1c constraints and reference allocations")
+    lp.add_argument("--variant", default="as_stated", choices=("as_stated", "as_solution"))
+    lp.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    figure = subparsers.add_parser("figure", help="regenerate one panel of Fig. 2")
+    figure.add_argument("panel", choices=("2a", "2b", "2c", "custom"))
+    figure.add_argument("--cc", default="cubic", choices=sorted(MULTIPATH_ALGORITHMS))
+    figure.add_argument("--duration", type=float, default=4.0)
+    figure.add_argument("--variant", default="as_stated", choices=("as_stated", "as_solution"))
+
+    compare = subparsers.add_parser("compare", help="congestion-control comparison (RES-CC)")
+    compare.add_argument("--algorithms", nargs="+", default=list(PAPER_ALGORITHMS))
+    compare.add_argument("--duration", type=float, default=4.0)
+    compare.add_argument("--json", action="store_true")
+
+    sweep = subparsers.add_parser("sweep", help="OLIA default-path sweep (RES-OLIA-DEFAULT)")
+    sweep.add_argument("--cc", default="olia", choices=sorted(MULTIPATH_ALGORITHMS))
+    sweep.add_argument("--duration", type=float, default=4.0)
+    sweep.add_argument("--json", action="store_true")
+    return parser
+
+
+def _command_lp(args: argparse.Namespace) -> int:
+    topology, paths = paper_scenario(args.variant)
+    system = build_constraints(topology, paths, include_private_links=False)
+    optimum = max_total_throughput(system)
+    greedy = greedy_fill(system, order=[PAPER_DEFAULT_PATH_INDEX, 0, 2])
+    maxmin = max_min_fair_rates(system)
+    fair = proportional_fair_rates(system)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "constraints": [str(c) for c in system.constraints],
+                    "optimum": optimum.as_dict(),
+                    "greedy_from_default": {"rates": greedy.rates, "total": greedy.total},
+                    "max_min": {"rates": maxmin.rates, "total": maxmin.total},
+                    "proportional_fair": fair.as_dict(),
+                },
+                indent=2,
+            )
+        )
+        return 0
+
+    print("Throughput constraints (Fig. 1c):")
+    print(system.pretty())
+    print()
+    rows = [
+        ["LP optimum (max total)", *[f"{r:.1f}" for r in optimum.rates], f"{optimum.total:.1f}"],
+        ["Greedy from default path", *[f"{r:.1f}" for r in greedy.rates], f"{greedy.total:.1f}"],
+        ["Max-min fair", *[f"{r:.1f}" for r in maxmin.rates], f"{maxmin.total:.1f}"],
+        ["Proportional fair", *[f"{r:.1f}" for r in fair.rates], f"{fair.total:.1f}"],
+    ]
+    print(format_table(["allocation", "x1", "x2", "x3", "total"], rows))
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    if args.panel == "2a":
+        data = fig2a_cubic(duration=args.duration, variant=args.variant)
+    elif args.panel == "2b":
+        data = fig2b_olia(duration=args.duration, variant=args.variant)
+    elif args.panel == "2c":
+        data = fig2c_fine(variant=args.variant)
+    else:
+        data = figure_with_algorithm(args.cc, duration=args.duration, variant=args.variant)
+    print(plot_figure(data.per_path_series, data.total_series, title=data.description))
+    print()
+    print(json.dumps(data.summary(), indent=2))
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    results = cc_comparison(args.algorithms, duration=args.duration)
+    summaries = summarize_results(results)
+    if args.json:
+        print(json.dumps(summaries, indent=2))
+        return 0
+    rows = [
+        [
+            s["key"],
+            s["optimum_mbps"],
+            s["achieved_mean_mbps"],
+            s["utilization_of_optimum"],
+            "yes" if s["reached_optimum"] else "no",
+            s["stability_cv"],
+        ]
+        for s in summaries
+    ]
+    print(
+        format_table(
+            ["congestion control", "optimum", "achieved", "utilization", "reached", "stability cv"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    results = olia_default_path_sweep(duration=args.duration, algorithm=args.cc)
+    summaries = summarize_results(results)
+    if args.json:
+        print(json.dumps(summaries, indent=2))
+        return 0
+    rows = [
+        [
+            f"Path {int(s['key']) + 1} default",
+            s["achieved_mean_mbps"],
+            s["utilization_of_optimum"],
+            "yes" if s["reached_optimum"] else "no",
+        ]
+        for s in summaries
+    ]
+    print(format_table(["default path", "achieved", "utilization", "reached optimum"], rows))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (also exposed as the ``mptcp-overlap`` console script)."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "lp": _command_lp,
+        "figure": _command_figure,
+        "compare": _command_compare,
+        "sweep": _command_sweep,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

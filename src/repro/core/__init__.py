@@ -1,0 +1,70 @@
+"""MPTCP over overlapping paths -- the paper's primary subject.
+
+Public surface:
+
+* :class:`MptcpConnection` -- the multipath connection object
+* :class:`Subflow` -- one tagged TCP session along one path
+* path managers -- :class:`TagPathManager` (the paper's modified
+  ``ndiffports``), :class:`NdiffportsPathManager`, :class:`FullMeshPathManager`
+* schedulers -- :class:`MinRttScheduler`, :class:`RoundRobinScheduler`,
+  :class:`RedundantScheduler`
+* coupled congestion control -- LIA, OLIA, BALIA, wVegas and the uncoupled
+  CUBIC/Reno wrappers, created via :func:`make_multipath_congestion_control`
+"""
+
+from .connection import MptcpConnection
+from .coupled import (
+    BaliaCongestionControl,
+    CoupledCongestionControl,
+    CouplingGroup,
+    LiaCongestionControl,
+    MULTIPATH_ALGORITHMS,
+    OliaCongestionControl,
+    PAPER_ALGORITHMS,
+    UncoupledCubic,
+    UncoupledReno,
+    WVegasCongestionControl,
+    make_multipath_congestion_control,
+)
+from .options import DsnAllocator, DsnReassembler
+from .path_manager import (
+    FullMeshPathManager,
+    NdiffportsPathManager,
+    PathManager,
+    TagPathManager,
+)
+from .scheduler import (
+    MinRttScheduler,
+    RedundantScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    make_scheduler,
+)
+from .subflow import Subflow
+
+__all__ = [
+    "BaliaCongestionControl",
+    "CoupledCongestionControl",
+    "CouplingGroup",
+    "DsnAllocator",
+    "DsnReassembler",
+    "FullMeshPathManager",
+    "LiaCongestionControl",
+    "MULTIPATH_ALGORITHMS",
+    "MinRttScheduler",
+    "MptcpConnection",
+    "NdiffportsPathManager",
+    "OliaCongestionControl",
+    "PAPER_ALGORITHMS",
+    "PathManager",
+    "RedundantScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "Subflow",
+    "TagPathManager",
+    "UncoupledCubic",
+    "UncoupledReno",
+    "WVegasCongestionControl",
+    "make_multipath_congestion_control",
+    "make_scheduler",
+]

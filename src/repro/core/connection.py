@@ -1,0 +1,269 @@
+"""The MPTCP connection: subflows, data striping and connection statistics.
+
+:class:`MptcpConnection` is the library's top-level protocol object -- the
+equivalent of an MPTCP socket opened by iperf in the paper's measurements.
+It asks a path manager for the subflows (one tagged TCP session per
+pre-selected path), couples their congestion controllers through a shared
+:class:`~repro.core.coupled.CouplingGroup`, stripes a bulk byte stream across
+them according to the configured scheduler and reassembles the stream at the
+destination host.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..model.paths import Path, PathSet
+from ..netsim.network import Network
+from ..tcp.receiver import TcpReceiver
+from ..tcp.sender import TcpSender
+from ..units import DEFAULT_MSS, throughput_mbps
+from .coupled import CouplingGroup, make_multipath_congestion_control
+from .options import DsnAllocator, DsnReassembler
+from .path_manager import PathManager, TagPathManager
+from .scheduler import Scheduler, make_scheduler
+from .subflow import Subflow
+
+_flow_ids = itertools.count(1000)
+
+
+class MptcpConnection:
+    """A multipath TCP connection between two hosts of a built network.
+
+    Parameters
+    ----------
+    network:
+        The instantiated :class:`~repro.netsim.network.Network`.
+    src, dst:
+        Host names of the sender and the receiver.
+    paths:
+        The pre-selected paths (a :class:`PathSet`, a list of
+        :class:`~repro.model.paths.Path` or raw node lists).  Ignored when an
+        explicit ``path_manager`` is given.
+    congestion_control:
+        ``"cubic"``, ``"reno"``, ``"lia"``, ``"olia"``, ``"balia"`` or ``"wvegas"``.
+    scheduler:
+        ``"minrtt"`` (default), ``"roundrobin"`` or ``"redundant"``.
+    default_path_index:
+        Which of ``paths`` is the default (shortest) path; the paper's
+        measurements use Path 2 as the default.
+    total_bytes:
+        Size of the transfer; ``None`` means a greedy, unbounded source.
+    send_buffer_bytes:
+        Optional connection-level send-buffer bound.
+    join_delay:
+        Delay in seconds between the start of the default subflow and the
+        start of each additional subflow (MP_JOIN establishment).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        src: str,
+        dst: str,
+        paths: Union[PathSet, Sequence[Path], Sequence[Sequence[str]], None] = None,
+        *,
+        congestion_control: str = "lia",
+        scheduler: Union[str, Scheduler] = "minrtt",
+        path_manager: Optional[PathManager] = None,
+        default_path_index: int = 0,
+        mss: int = DEFAULT_MSS,
+        total_bytes: Optional[int] = None,
+        send_buffer_bytes: Optional[int] = None,
+        join_delay: float = 0.0,
+        flow_id: Optional[int] = None,
+    ) -> None:
+        if src == dst:
+            raise ConfigurationError("source and destination must differ")
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.mss = int(mss)
+        self.flow_id = flow_id if flow_id is not None else next(_flow_ids)
+        self.congestion_control_name = congestion_control.lower()
+        self.join_delay = float(join_delay)
+
+        if path_manager is None:
+            if paths is None:
+                raise ConfigurationError("either paths or a path_manager is required")
+            path_objects = self._coerce_paths(paths)
+            path_manager = TagPathManager(path_objects, default_index=default_path_index)
+        self.path_manager = path_manager
+
+        self.scheduler: Scheduler = (
+            scheduler if isinstance(scheduler, Scheduler) else make_scheduler(scheduler)
+        )
+        self.allocator = DsnAllocator(total_bytes, send_buffer_bytes)
+        self.reassembler = DsnReassembler()
+        self.coupling_group = CouplingGroup()
+
+        self.subflows: List[Subflow] = self.path_manager.build_subflows(network, src, dst)
+        self._senders: Dict[int, Subflow] = {}
+        self._build_transport()
+        self._start_time: Optional[float] = None
+        self._starved_subflows: set[int] = set()
+
+    # ------------------------------------------------------------------ build
+    @staticmethod
+    def _coerce_paths(paths) -> List[Path]:
+        if isinstance(paths, PathSet):
+            return list(paths)
+        coerced: List[Path] = []
+        for index, item in enumerate(paths):
+            if isinstance(item, Path):
+                coerced.append(item)
+            else:
+                coerced.append(Path(list(item), tag=index + 1, name=f"Path {index + 1}"))
+        return coerced
+
+    def _build_transport(self) -> None:
+        src_host = self.network.host(self.src)
+        dst_host = self.network.host(self.dst)
+        for subflow in self.subflows:
+            cc = make_multipath_congestion_control(
+                self.congestion_control_name, mss=self.mss, group=self.coupling_group
+            )
+            sender = TcpSender(
+                src_host,
+                self.dst,
+                self.flow_id,
+                subflow.subflow_id,
+                cc=cc,
+                data_provider=self,
+                tag=subflow.tag,
+                mss=self.mss,
+            )
+            receiver = TcpReceiver(
+                dst_host,
+                self.src,
+                self.flow_id,
+                subflow.subflow_id,
+                tag=subflow.tag,
+                connection_sink=self,
+            )
+            src_host.register_agent(self.flow_id, subflow.subflow_id, sender)
+            dst_host.register_agent(self.flow_id, subflow.subflow_id, receiver)
+            subflow.sender = sender
+            subflow.receiver = receiver
+            subflow.cc = cc
+            self._senders[subflow.subflow_id] = subflow
+
+    # ------------------------------------------------------------------ DataProvider protocol
+    def request_data(self, sender: TcpSender, max_bytes: int) -> Optional[Tuple[int, int]]:
+        """Called by a subflow sender with free window; delegates to the scheduler."""
+        subflow = self._senders[sender.subflow_id]
+        grant = self.scheduler.allocate(self, subflow, max_bytes)
+        if grant is None:
+            # Remember the refusal: a subflow with nothing in flight receives
+            # no more ACKs, so it must be woken explicitly once data frees up.
+            self._starved_subflows.add(subflow.subflow_id)
+        else:
+            self._starved_subflows.discard(subflow.subflow_id)
+        return grant
+
+    def on_data_acked(self, sender: TcpSender, dsn: int, length: int, now: float) -> None:
+        """Subflow-level acknowledgement of a DSN range."""
+        subflow = self._senders[sender.subflow_id]
+        subflow.acked_bytes += length
+        self.allocator.on_acked(length)
+        self._wake_starved_subflows()
+
+    def _wake_starved_subflows(self) -> None:
+        """Let previously refused subflows ask the scheduler again."""
+        if not self._starved_subflows:
+            return
+        waiting = [self._senders[sid] for sid in sorted(self._starved_subflows)]
+        self._starved_subflows.clear()
+        for subflow in waiting:
+            if subflow.sender is not None:
+                self.network.sim.schedule(0.0, subflow.sender.resume)
+
+    # ------------------------------------------------------------------ ConnectionSink protocol
+    def on_subflow_data(self, subflow_id: int, dsn: int, length: int, now: float) -> int:
+        """Receiver-side delivery of a DSN range from one subflow."""
+        return self.reassembler.deliver(dsn, length, now)
+
+    # ------------------------------------------------------------------ control
+    def start(self, at: float = 0.0) -> None:
+        """Schedule the transfer: default subflow at ``at``, others after ``join_delay``."""
+        self._start_time = at
+        sim = self.network.sim
+        extra_started = 0
+        for subflow in self.subflows:
+            if subflow.is_default:
+                start_at = at
+            else:
+                extra_started += 1
+                start_at = at + self.join_delay * extra_started
+            subflow.started_at = start_at
+            sim.schedule_at(start_at, subflow.sender.start)
+
+    # ------------------------------------------------------------------ views
+    @property
+    def default_subflow(self) -> Subflow:
+        for subflow in self.subflows:
+            if subflow.is_default:
+                return subflow
+        return self.subflows[0]
+
+    def subflow_by_tag(self, tag: int) -> Subflow:
+        for subflow in self.subflows:
+            if subflow.tag == tag:
+                return subflow
+        raise ConfigurationError(f"no subflow with tag {tag}")
+
+    @property
+    def bytes_delivered(self) -> int:
+        """Connection-level bytes delivered in order at the receiver."""
+        return self.reassembler.delivered_bytes
+
+    @property
+    def bytes_acked(self) -> int:
+        """Connection-level bytes acknowledged at subflow level."""
+        return self.allocator.acked_bytes
+
+    def total_throughput_mbps(self, duration: Optional[float] = None) -> float:
+        """Mean connection goodput in Mbps over ``duration`` (default: elapsed)."""
+        start = self._start_time or 0.0
+        if duration is None:
+            duration = max(self.network.sim.now - start, 1e-9)
+        return throughput_mbps(self.bytes_delivered, duration)
+
+    def subflow_throughputs_mbps(self, duration: Optional[float] = None) -> Dict[int, float]:
+        """Mean per-subflow goodput in Mbps keyed by subflow id."""
+        now = self.network.sim.now
+        result: Dict[int, float] = {}
+        for subflow in self.subflows:
+            if duration is not None:
+                result[subflow.subflow_id] = throughput_mbps(subflow.acked_bytes, duration)
+            else:
+                result[subflow.subflow_id] = subflow.mean_throughput_mbps(now)
+        return result
+
+    def total_retransmissions(self) -> int:
+        return sum(sf.retransmissions for sf in self.subflows)
+
+    def summary(self) -> Dict[str, object]:
+        """A dictionary summarising the connection state (for reports/tests)."""
+        now = self.network.sim.now
+        return {
+            "flow_id": self.flow_id,
+            "congestion_control": self.congestion_control_name,
+            "scheduler": self.scheduler.name,
+            "subflows": len(self.subflows),
+            "bytes_delivered": self.bytes_delivered,
+            "bytes_acked": self.bytes_acked,
+            "retransmissions": self.total_retransmissions(),
+            "total_throughput_mbps": self.total_throughput_mbps(),
+            "per_subflow_mbps": {
+                sf.name: round(sf.mean_throughput_mbps(now), 3) for sf in self.subflows
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MptcpConnection({self.src}->{self.dst}, cc={self.congestion_control_name}, "
+            f"subflows={len(self.subflows)}, scheduler={self.scheduler.name})"
+        )

@@ -1,0 +1,67 @@
+"""Multipath congestion-control algorithms and the per-connection factory.
+
+The paper measures three algorithms: uncoupled CUBIC (the Linux default),
+LIA and OLIA.  BALIA and wVegas are provided as extensions.  Use
+:func:`make_multipath_congestion_control` to build per-subflow instances that
+share one :class:`CouplingGroup` per MPTCP connection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...errors import ConfigurationError
+from ...tcp.cc.base import CongestionControl
+from .balia import BaliaCongestionControl
+from .base import CoupledCongestionControl, CouplingGroup
+from .lia import LiaCongestionControl
+from .olia import OliaCongestionControl
+from .uncoupled import UncoupledCubic, UncoupledReno
+from .wvegas import WVegasCongestionControl
+
+#: Algorithms the paper measures plus the extensions, keyed by the names used
+#: throughout the experiment configurations.
+MULTIPATH_ALGORITHMS = {
+    "cubic": UncoupledCubic,
+    "reno": UncoupledReno,
+    "lia": LiaCongestionControl,
+    "olia": OliaCongestionControl,
+    "balia": BaliaCongestionControl,
+    "wvegas": WVegasCongestionControl,
+}
+
+#: The three algorithms evaluated in the paper's measurements.
+PAPER_ALGORITHMS = ("cubic", "lia", "olia")
+
+
+def make_multipath_congestion_control(
+    name: str,
+    *,
+    mss: int,
+    group: Optional[CouplingGroup] = None,
+    **kwargs,
+) -> CongestionControl:
+    """Create one per-subflow congestion controller registered with ``group``."""
+    try:
+        cls = MULTIPATH_ALGORITHMS[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown multipath congestion control {name!r}; "
+            f"choose from {sorted(MULTIPATH_ALGORITHMS)}"
+        ) from None
+    return cls(mss=mss, group=group, **kwargs)
+
+
+__all__ = [
+    "BaliaCongestionControl",
+    "CoupledCongestionControl",
+    "CouplingGroup",
+    "LiaCongestionControl",
+    "MULTIPATH_ALGORITHMS",
+    "OliaCongestionControl",
+    "PAPER_ALGORITHMS",
+    "UncoupledCubic",
+    "UncoupledReno",
+    "WVegasCongestionControl",
+    "make_multipath_congestion_control",
+]

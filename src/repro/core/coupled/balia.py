@@ -1,0 +1,56 @@
+"""BALIA -- Balanced Linked Adaptation (Peng, Walid, Hwang, Low; ToN 2016).
+
+BALIA is a later coupled algorithm designed to balance TCP-friendliness,
+responsiveness and window oscillation; it is included as an *extension*
+beyond the three algorithms measured in the paper so that the benchmark
+harness can compare a fourth design point on the overlapping-path topology.
+
+Per ACK on path *r* (rates ``x_p = cwnd_p / rtt_p``)::
+
+    cwnd_r += ( x_r / rtt_r ) / ( sum_p x_p )^2 * (1 + alpha_r)/2 * (4 + alpha_r)/5 * acked
+
+with ``alpha_r = max_p(x_p) / x_r``.  On loss::
+
+    cwnd_r -= cwnd_r / 2 * min(alpha_r, 1.5)
+"""
+
+from __future__ import annotations
+
+from .base import CoupledCongestionControl
+
+
+class BaliaCongestionControl(CoupledCongestionControl):
+    """Balanced Linked Adaptation multipath congestion control."""
+
+    name = "balia"
+
+    def _rate(self) -> float:
+        return self.cwnd / self.rtt_or_default()
+
+    def _alpha(self) -> float:
+        rates = [m.cwnd / m.rtt_or_default() for m in self.group.members]
+        own = self._rate()
+        if own <= 0 or not rates:
+            return 1.0
+        return max(rates) / own
+
+    def _congestion_avoidance(self, acked_segments: float, srtt: float, now: float) -> None:
+        members = self.group.members
+        total_rate = sum(m.cwnd / m.rtt_or_default() for m in members)
+        if total_rate <= 0 or self.cwnd <= 0:
+            self.cwnd = max(self.cwnd, 1.0)
+            return
+        rtt = self.rtt_or_default()
+        alpha = self._alpha()
+        increase = (
+            (self.cwnd / rtt / rtt)
+            / (total_rate ** 2)
+            * ((1.0 + alpha) / 2.0)
+            * ((4.0 + alpha) / 5.0)
+            * acked_segments
+        )
+        self.cwnd += increase
+
+    def _loss_decrease(self, now: float) -> None:
+        alpha = min(self._alpha(), 1.5)
+        self.cwnd = self.cwnd - (self.cwnd / 2.0) * alpha

@@ -1,0 +1,86 @@
+"""Coupling infrastructure shared by multipath congestion-control algorithms.
+
+Coupled algorithms (LIA, OLIA, BALIA, wVegas) adapt each subflow's
+congestion-avoidance increase using the state of *all* subflows of the MPTCP
+connection.  A :class:`CouplingGroup` is created per connection and every
+per-subflow congestion-control instance registers with it, mirroring how the
+Linux MPTCP implementation walks ``mptcp_for_each_sk`` inside the coupled
+``cong_avoid`` handlers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ...tcp.cc.base import CongestionControl
+
+
+class CouplingGroup:
+    """Shared state of the subflow congestion controllers of one connection."""
+
+    def __init__(self) -> None:
+        self._members: List["CoupledCongestionControl"] = []
+
+    # ------------------------------------------------------------------
+    def register(self, member: "CoupledCongestionControl") -> None:
+        if member not in self._members:
+            self._members.append(member)
+
+    def unregister(self, member: "CoupledCongestionControl") -> None:
+        if member in self._members:
+            self._members.remove(member)
+
+    @property
+    def members(self) -> List["CoupledCongestionControl"]:
+        return list(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterable["CoupledCongestionControl"]:
+        return iter(self._members)
+
+    # ------------------------------------------------------------------ views
+    def total_cwnd(self) -> float:
+        """Sum of the member congestion windows, in segments."""
+        return sum(m.cwnd for m in self._members)
+
+    def total_cwnd_bytes(self) -> float:
+        return sum(m.cwnd_bytes for m in self._members)
+
+    def total_rate(self) -> float:
+        """Sum of cwnd/RTT across members (segments per second)."""
+        return sum(m.cwnd / m.rtt_or_default() for m in self._members)
+
+    def max_cwnd(self) -> float:
+        return max((m.cwnd for m in self._members), default=0.0)
+
+    def best_rate_member(self) -> Optional["CoupledCongestionControl"]:
+        """Member with the largest cwnd/RTT² term (the LIA numerator)."""
+        best = None
+        best_value = -1.0
+        for member in self._members:
+            value = member.cwnd / (member.rtt_or_default() ** 2)
+            if value > best_value:
+                best_value = value
+                best = member
+        return best
+
+
+class CoupledCongestionControl(CongestionControl):
+    """Base class for algorithms that need a view of their sibling subflows."""
+
+    name = "coupled-base"
+
+    def __init__(self, *args, group: Optional[CouplingGroup] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.group = group if group is not None else CouplingGroup()
+        self.group.register(self)
+
+    # ------------------------------------------------------------------
+    def rtt_or_default(self, default: float = 0.01) -> float:
+        """Smoothed RTT of this subflow, falling back to ``default`` seconds."""
+        return self.srtt if self.srtt and self.srtt > 0 else default
+
+    def _congestion_avoidance(self, acked_segments: float, srtt: float, now: float) -> None:
+        raise NotImplementedError

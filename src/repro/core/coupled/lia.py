@@ -1,0 +1,47 @@
+"""LIA -- the Linked Increases Algorithm (RFC 6356, Wischik et al. NSDI'11).
+
+LIA couples the congestion-avoidance increase of the subflows so that the
+aggregate is no more aggressive than a single TCP flow on the best path.
+For each ACK of ``acked`` segments on subflow *i* the window grows by::
+
+    min( alpha * acked / cwnd_total ,  acked / cwnd_i )
+
+with::
+
+    alpha = cwnd_total * max_i(cwnd_i / rtt_i^2) / ( sum_i cwnd_i / rtt_i )^2
+
+The decrease on loss is the standard halving.  The paper finds that "the more
+stable LIA never could reach the optimum" total throughput on the overlapping
+paths topology; the coupled (and capped) increase is exactly why.
+"""
+
+from __future__ import annotations
+
+from .base import CoupledCongestionControl
+
+
+class LiaCongestionControl(CoupledCongestionControl):
+    """RFC 6356 coupled congestion control."""
+
+    name = "lia"
+
+    def alpha(self) -> float:
+        """The LIA aggressiveness factor computed over all subflows."""
+        members = self.group.members
+        total_cwnd = sum(m.cwnd for m in members)
+        if total_cwnd <= 0:
+            return 1.0
+        denominator = sum(m.cwnd / m.rtt_or_default() for m in members) ** 2
+        if denominator <= 0:
+            return 1.0
+        numerator = max(m.cwnd / (m.rtt_or_default() ** 2) for m in members)
+        return total_cwnd * numerator / denominator
+
+    def _congestion_avoidance(self, acked_segments: float, srtt: float, now: float) -> None:
+        total_cwnd = self.group.total_cwnd()
+        if total_cwnd <= 0 or self.cwnd <= 0:
+            self.cwnd = max(self.cwnd, 1.0)
+            return
+        coupled_increase = self.alpha() * acked_segments / total_cwnd
+        uncoupled_increase = acked_segments / self.cwnd
+        self.cwnd += min(coupled_increase, uncoupled_increase)

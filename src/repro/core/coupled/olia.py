@@ -1,0 +1,106 @@
+"""OLIA -- the Opportunistic Linked Increases Algorithm (Khalili et al. 2013).
+
+OLIA was designed to fix LIA's non-Pareto-optimality.  For each ACK on path
+*r* the window grows by::
+
+    ( (cwnd_r / rtt_r^2) / (sum_p cwnd_p / rtt_p)^2  +  alpha_r / cwnd_r ) * acked
+
+The first term is the optimal coupled increase; the ``alpha_r`` term shifts
+traffic towards "best" paths that currently have small windows:
+
+* ``collected`` paths: best paths (largest ``l_r^2 / rtt_r``) that do *not*
+  have the largest window -> ``alpha_r = +1 / (n * |collected|)``
+* paths with the largest window, when collected paths exist ->
+  ``alpha_r = -1 / (n * |max-window paths|)``
+* all other paths -> ``alpha_r = 0``
+
+``l_r`` is the number of bytes acknowledged between the last two losses (or
+since the last loss, whichever is larger), i.e. an estimate of the path's
+achievable rate.  Loss response is the standard halving.
+
+The paper observes that OLIA "was able to reach the optimum in many
+measurements, but only if Path 2 was the default shortest path" and that it
+had the slowest convergence -- behaviour that emerges from the small
+``1/(n |collected|)`` rebalancing steps.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import CoupledCongestionControl
+
+
+class OliaCongestionControl(CoupledCongestionControl):
+    """Opportunistic Linked Increases Algorithm."""
+
+    name = "olia"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Bytes acknowledged since the last loss (l1) and between the two
+        # previous losses (l2); OLIA's rate proxy is max(l1, l2).
+        self._bytes_since_loss = 0.0
+        self._bytes_between_losses = 0.0
+
+    # ------------------------------------------------------------------ rate proxy
+    @property
+    def loss_interval_bytes(self) -> float:
+        """OLIA's ``l_r``: the larger of the last two inter-loss byte counts."""
+        return max(self._bytes_since_loss, self._bytes_between_losses, float(self.mss))
+
+    def _rate_estimate(self) -> float:
+        """``l_r^2 / rtt_r`` -- the quality metric used to pick best paths."""
+        return (self.loss_interval_bytes ** 2) / self.rtt_or_default()
+
+    # ------------------------------------------------------------------ alpha
+    def _alpha(self) -> float:
+        members: List[OliaCongestionControl] = [
+            m for m in self.group.members if isinstance(m, OliaCongestionControl)
+        ]
+        n = len(members)
+        if n <= 1:
+            return 0.0
+        epsilon = 1e-9
+        best_quality = max(m._rate_estimate() for m in members)
+        max_cwnd = max(m.cwnd for m in members)
+        best_paths = [m for m in members if m._rate_estimate() >= best_quality - epsilon]
+        max_window_paths = [m for m in members if m.cwnd >= max_cwnd - epsilon]
+        collected = [m for m in best_paths if m not in max_window_paths]
+        if not collected:
+            return 0.0
+        if self in collected:
+            return 1.0 / (n * len(collected))
+        if self in max_window_paths:
+            return -1.0 / (n * len(max_window_paths))
+        return 0.0
+
+    # ------------------------------------------------------------------ events
+    def _congestion_avoidance(self, acked_segments: float, srtt: float, now: float) -> None:
+        self._bytes_since_loss += acked_segments * self.mss
+        members = self.group.members
+        rate_sum = sum(m.cwnd / m.rtt_or_default() for m in members)
+        if rate_sum <= 0 or self.cwnd <= 0:
+            self.cwnd = max(self.cwnd, 1.0)
+            return
+        rtt = self.rtt_or_default()
+        coupled_term = (self.cwnd / (rtt ** 2)) / (rate_sum ** 2)
+        alpha_term = self._alpha() / self.cwnd
+        increase = (coupled_term + alpha_term) * acked_segments
+        # The window never shrinks during congestion avoidance faster than the
+        # negative alpha term allows, and never below one segment.
+        self.cwnd = max(1.0, self.cwnd + increase)
+
+    def on_ack(self, acked_bytes: int, srtt: float, now: float) -> None:
+        if self.in_slow_start and acked_bytes > 0:
+            self._bytes_since_loss += acked_bytes
+        super().on_ack(acked_bytes, srtt, now)
+
+    def _loss_decrease(self, now: float) -> None:
+        self._bytes_between_losses = self._bytes_since_loss
+        self._bytes_since_loss = 0.0
+        super()._loss_decrease(now)
+
+    def _after_timeout(self, now: float) -> None:
+        self._bytes_between_losses = self._bytes_since_loss
+        self._bytes_since_loss = 0.0

@@ -1,0 +1,55 @@
+"""wVegas -- weighted Vegas, a delay-based multipath congestion control.
+
+Included as an *extension*: unlike the loss-based algorithms the paper
+measures, wVegas (Cao, Xu, Fu; ICNP 2012) reacts to queueing delay and shifts
+traffic away from paths whose RTT grows, which on the overlapping-path
+topology gives a qualitatively different search dynamic for the optimum.
+
+Each subflow keeps the classic Vegas ``diff`` -- the number of segments
+queued in the network, estimated as ``cwnd * (1 - baseRTT / RTT)`` -- and
+compares it against its share ``alpha_r`` of a total backlog target.  The
+share is proportional to the subflow's achieved rate, which is how wVegas
+couples the paths.
+"""
+
+from __future__ import annotations
+
+from .base import CoupledCongestionControl
+
+
+class WVegasCongestionControl(CoupledCongestionControl):
+    """Weighted Vegas delay-based multipath congestion control."""
+
+    name = "wvegas"
+
+    #: Total backlog target across the connection, in segments.
+    TOTAL_ALPHA = 10.0
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.base_rtt: float | None = None
+
+    # ------------------------------------------------------------------
+    def _weight(self) -> float:
+        """This subflow's share of the backlog target (rate-proportional)."""
+        members = [m for m in self.group.members if isinstance(m, WVegasCongestionControl)]
+        total_rate = sum(m.cwnd / m.rtt_or_default() for m in members)
+        if total_rate <= 0:
+            return 1.0 / max(len(members), 1)
+        return (self.cwnd / self.rtt_or_default()) / total_rate
+
+    def _congestion_avoidance(self, acked_segments: float, srtt: float, now: float) -> None:
+        rtt = max(srtt, 1e-4)
+        if self.base_rtt is None or rtt < self.base_rtt:
+            self.base_rtt = rtt
+        queued_segments = self.cwnd * (1.0 - self.base_rtt / rtt)
+        target = self.TOTAL_ALPHA * self._weight()
+        if queued_segments < target:
+            self.cwnd += acked_segments / self.cwnd
+        elif queued_segments > target + 1.0:
+            self.cwnd = max(1.0, self.cwnd - acked_segments / self.cwnd)
+        # Otherwise the backlog is on target: hold the window.
+
+    def _loss_decrease(self, now: float) -> None:
+        # Delay-based, but it must still back off on real loss.
+        self.cwnd = self.cwnd / 2.0

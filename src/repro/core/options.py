@@ -1,0 +1,131 @@
+"""Data-sequence-number (DSS) bookkeeping.
+
+MPTCP stripes one byte stream across subflows; every transmitted segment
+carries a *data sequence number* (DSN) mapping its payload back into the
+connection-level stream.  :class:`DsnAllocator` hands out DSN ranges to the
+scheduler and :class:`DsnReassembler` rebuilds the in-order stream at the
+receiver, tolerating the duplicates produced by retransmissions and by the
+redundant scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class DsnAllocator:
+    """Allocates contiguous DSN ranges for new application data.
+
+    Parameters
+    ----------
+    total_bytes:
+        Size of the transfer; ``None`` models an unbounded (iperf-like) source.
+    send_buffer_bytes:
+        Optional cap on unacknowledged connection-level data.  When set, the
+        allocator refuses new ranges until enough data has been acknowledged,
+        which is when the choice of scheduler starts to matter.
+    """
+
+    def __init__(
+        self,
+        total_bytes: Optional[int] = None,
+        send_buffer_bytes: Optional[int] = None,
+    ) -> None:
+        self.total_bytes = total_bytes
+        self.send_buffer_bytes = send_buffer_bytes
+        self.next_dsn = 0
+        self.acked_bytes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def outstanding_bytes(self) -> int:
+        """Connection-level bytes handed to subflows but not yet acknowledged."""
+        return self.next_dsn - self.acked_bytes
+
+    def available(self, max_bytes: int) -> int:
+        """How many new bytes may be allocated right now (0 if none)."""
+        grant = max_bytes
+        if self.total_bytes is not None:
+            grant = min(grant, self.total_bytes - self.next_dsn)
+        if self.send_buffer_bytes is not None:
+            grant = min(grant, self.send_buffer_bytes - self.outstanding_bytes)
+        return max(grant, 0)
+
+    def allocate(self, max_bytes: int) -> Optional[Tuple[int, int]]:
+        """Reserve up to ``max_bytes`` new bytes; return ``(dsn, length)`` or None."""
+        grant = self.available(max_bytes)
+        if grant <= 0:
+            return None
+        dsn = self.next_dsn
+        self.next_dsn += grant
+        return dsn, grant
+
+    def on_acked(self, length: int) -> None:
+        """Record ``length`` connection-level bytes as acknowledged."""
+        self.acked_bytes += length
+
+    @property
+    def finished(self) -> bool:
+        """True when a finite transfer has been fully allocated and acknowledged."""
+        if self.total_bytes is None:
+            return False
+        return self.acked_bytes >= self.total_bytes
+
+
+class DsnReassembler:
+    """Connection-level in-order reassembly of DSN ranges.
+
+    Duplicate deliveries (subflow retransmissions, redundant scheduling) are
+    detected and ignored so goodput is never counted twice.
+    """
+
+    def __init__(self) -> None:
+        self.data_ack = 0
+        self._pending: Dict[int, int] = {}  # dsn -> length
+        self.duplicate_bytes = 0
+        self.delivered_bytes = 0
+        #: (time, cumulative in-order bytes) appended whenever data_ack advances.
+        self.goodput_records: List[Tuple[float, int]] = []
+
+    # ------------------------------------------------------------------
+    def deliver(self, dsn: int, length: int, now: float) -> int:
+        """Deliver a DSN range; return the updated cumulative data ACK."""
+        if length <= 0:
+            return self.data_ack
+        end = dsn + length
+        if end <= self.data_ack:
+            self.duplicate_bytes += length
+            return self.data_ack
+        if dsn < self.data_ack:
+            # Partial overlap with already-delivered data.
+            self.duplicate_bytes += self.data_ack - dsn
+            length = end - self.data_ack
+            dsn = self.data_ack
+        if dsn in self._pending:
+            self.duplicate_bytes += length
+            return self.data_ack
+        self._pending[dsn] = max(self._pending.get(dsn, 0), length)
+        self._advance(now)
+        return self.data_ack
+
+    def _advance(self, now: float) -> None:
+        advanced = False
+        while self.data_ack in self._pending:
+            length = self._pending.pop(self.data_ack)
+            self.data_ack += length
+            self.delivered_bytes += length
+            advanced = True
+        if advanced:
+            self.goodput_records.append((now, self.data_ack))
+
+    # ------------------------------------------------------------------
+    @property
+    def out_of_order_bytes(self) -> int:
+        """Bytes received above the cumulative data ACK, waiting for holes."""
+        return sum(self._pending.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DsnReassembler(data_ack={self.data_ack}, pending={len(self._pending)}, "
+            f"duplicates={self.duplicate_bytes})"
+        )

@@ -1,0 +1,133 @@
+"""MPTCP path managers.
+
+The path manager decides how many subflows a connection opens and which path
+each one is pinned to.  The paper modifies the ``ndiffports`` path manager so
+that every subflow's packets carry a distinct tag ("the exact tags and the
+number of subflows is given as an argument for our path-manager module");
+:class:`TagPathManager` reproduces that module.  The stock ``ndiffports``
+(all subflows on the default route) and a full-mesh manager for multi-homed
+hosts are provided for comparison scenarios.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..model.paths import Path, PathSet
+from .subflow import Subflow
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..netsim.network import Network
+
+
+class PathManager(ABC):
+    """Produces the subflow descriptors (path + tag) for a connection."""
+
+    name = "base"
+
+    @abstractmethod
+    def build_subflows(self, network: "Network", src: str, dst: str) -> List[Subflow]:
+        """Return the subflows (without transport agents attached yet)."""
+
+
+class TagPathManager(PathManager):
+    """The paper's modified ``ndiffports``: one tagged subflow per given path.
+
+    Parameters
+    ----------
+    paths:
+        The pre-selected paths.  Tags default to the paths' own tags or to
+        ``1..n`` when unset.
+    default_index:
+        Which path is the connection's default ("shortest") path; its subflow
+        is created first and its route is installed as the untagged default.
+    """
+
+    name = "tag"
+
+    def __init__(self, paths: Sequence[Path] | PathSet, default_index: int = 0) -> None:
+        path_list = list(paths)
+        if not path_list:
+            raise ConfigurationError("TagPathManager needs at least one path")
+        if not 0 <= default_index < len(path_list):
+            raise ConfigurationError(
+                f"default_index {default_index} out of range for {len(path_list)} paths"
+            )
+        self.paths = path_list
+        self.default_index = default_index
+
+    def build_subflows(self, network: "Network", src: str, dst: str) -> List[Subflow]:
+        subflows: List[Subflow] = []
+        for index, path in enumerate(self.paths):
+            if path.src != src or path.dst != dst:
+                raise ConfigurationError(
+                    f"path {path} does not connect {src!r} to {dst!r}"
+                )
+            tag = path.tag if path.tag is not None else index + 1
+            is_default = index == self.default_index
+            network.install_path(path.nodes, tag, as_default=is_default)
+            subflows.append(
+                Subflow(subflow_id=index, path=path, tag=tag, is_default=is_default)
+            )
+        # The default subflow is listed first so that it starts first, like
+        # the initial MPTCP subflow on the default route.
+        subflows.sort(key=lambda sf: (not sf.is_default, sf.subflow_id))
+        return subflows
+
+
+class NdiffportsPathManager(PathManager):
+    """Stock ``ndiffports``: ``n`` subflows that all follow the default route.
+
+    Because every subflow shares the same path, this is the degenerate
+    overlapping case: all subflows compete for the same bottleneck.
+    """
+
+    name = "ndiffports"
+
+    def __init__(self, subflow_count: int = 2, default_path: Optional[Path] = None) -> None:
+        if subflow_count < 1:
+            raise ConfigurationError("need at least one subflow")
+        self.subflow_count = subflow_count
+        self.default_path = default_path
+
+    def build_subflows(self, network: "Network", src: str, dst: str) -> List[Subflow]:
+        if self.default_path is not None:
+            path = self.default_path
+        else:
+            nodes = network.topology.shortest_path(src, dst)
+            path = Path(nodes, tag=None, name="default")
+        network.install_path(path.nodes, None, as_default=True)
+        return [
+            Subflow(subflow_id=i, path=path, tag=None, is_default=(i == 0))
+            for i in range(self.subflow_count)
+        ]
+
+
+class FullMeshPathManager(PathManager):
+    """One subflow per available path, discovered from the topology.
+
+    Models the full-mesh path manager of a multi-homed host (e.g. Wi-Fi and
+    cellular): the ``k`` shortest simple paths between the endpoints each get
+    a subflow and a tag.
+    """
+
+    name = "fullmesh"
+
+    def __init__(self, max_subflows: int = 4) -> None:
+        if max_subflows < 1:
+            raise ConfigurationError("need at least one subflow")
+        self.max_subflows = max_subflows
+
+    def build_subflows(self, network: "Network", src: str, dst: str) -> List[Subflow]:
+        node_lists = network.topology.k_shortest_paths(src, dst, self.max_subflows)
+        subflows: List[Subflow] = []
+        for index, nodes in enumerate(node_lists):
+            tag = index + 1
+            path = Path(nodes, tag=tag, name=f"Path {index + 1}")
+            network.install_path(nodes, tag, as_default=(index == 0))
+            subflows.append(
+                Subflow(subflow_id=index, path=path, tag=tag, is_default=(index == 0))
+            )
+        return subflows

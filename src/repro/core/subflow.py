@@ -1,0 +1,64 @@
+"""Subflow: one TCP session pinned to one tagged path.
+
+"MPTCP extends TCP so that a single connection can be striped across multiple
+sub-flows, each being a TCP session along a unique path" (paper, §1).  A
+:class:`Subflow` bundles the per-path sender, receiver and congestion-control
+instance together with the :class:`~repro.model.paths.Path` it is pinned to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..model.paths import Path
+from ..units import throughput_mbps
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..tcp.cc.base import CongestionControl
+    from ..tcp.receiver import TcpReceiver
+    from ..tcp.sender import TcpSender
+
+
+@dataclass
+class Subflow:
+    """One MPTCP subflow and its simulation objects."""
+
+    subflow_id: int
+    path: Path
+    tag: Optional[int]
+    is_default: bool = False
+    sender: "TcpSender" = field(default=None, repr=False)  # type: ignore[assignment]
+    receiver: "TcpReceiver" = field(default=None, repr=False)  # type: ignore[assignment]
+    cc: "CongestionControl" = field(default=None, repr=False)  # type: ignore[assignment]
+    started_at: Optional[float] = None
+    acked_bytes: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.path.name or f"subflow-{self.subflow_id}"
+
+    @property
+    def cwnd_segments(self) -> float:
+        return self.cc.cwnd if self.cc is not None else 0.0
+
+    @property
+    def srtt(self) -> Optional[float]:
+        if self.sender is None:
+            return None
+        return self.sender.rtt.srtt
+
+    @property
+    def retransmissions(self) -> int:
+        return self.sender.stats.retransmissions if self.sender is not None else 0
+
+    def mean_throughput_mbps(self, now: float) -> float:
+        """Mean subflow goodput since it started, in Mbps."""
+        if self.started_at is None or now <= self.started_at:
+            return 0.0
+        return throughput_mbps(self.acked_bytes, now - self.started_at)
+
+    def __str__(self) -> str:
+        role = " (default)" if self.is_default else ""
+        return f"{self.name}{role} [tag={self.tag}]"

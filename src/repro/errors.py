@@ -1,0 +1,35 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulator is used incorrectly."""
+
+
+class TopologyError(ReproError):
+    """Raised for malformed topologies (unknown nodes, duplicate links...)."""
+
+
+class RoutingError(ReproError):
+    """Raised when a packet cannot be forwarded (no route for destination/tag)."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid experiment or protocol configuration values."""
+
+
+class ProtocolError(ReproError):
+    """Raised when the TCP/MPTCP state machines encounter an impossible state."""
+
+
+class ModelError(ReproError):
+    """Raised by the analytical model (infeasible LP, bad constraint matrix...)."""

@@ -1,0 +1,33 @@
+"""Experiment orchestration: harness, named scenarios and figure regeneration."""
+
+from .ascii_plot import ascii_chart, plot_figure
+from .figures import FigureData, fig2a_cubic, fig2b_olia, fig2c_fine, figure_with_algorithm
+from .harness import ExperimentConfig, ExperimentResult, paper_experiment, run_experiment
+from .scenarios import (
+    cc_comparison,
+    olia_default_path_sweep,
+    queue_size_sweep,
+    scheduler_comparison,
+    summarize_results,
+    variant_comparison,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "FigureData",
+    "ascii_chart",
+    "cc_comparison",
+    "fig2a_cubic",
+    "fig2b_olia",
+    "fig2c_fine",
+    "figure_with_algorithm",
+    "olia_default_path_sweep",
+    "paper_experiment",
+    "plot_figure",
+    "queue_size_sweep",
+    "run_experiment",
+    "scheduler_comparison",
+    "summarize_results",
+    "variant_comparison",
+]

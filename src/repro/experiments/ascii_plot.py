@@ -1,0 +1,73 @@
+"""Terminal plotting of throughput time series.
+
+The examples render the Fig. 2 panels directly in the terminal so a run of
+``python examples/paper_topology.py`` shows the same qualitative picture as
+the paper without needing matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..measure.sampling import TimeSeries
+
+_MARKERS = "123456789*"
+
+
+def ascii_chart(
+    series: Sequence[TimeSeries],
+    *,
+    width: int = 72,
+    height: int = 18,
+    y_max: Optional[float] = None,
+    title: str = "",
+) -> str:
+    """Render one or more time series as an ASCII chart.
+
+    Each series is drawn with its own marker (``1``, ``2``, ...); overlapping
+    points show the marker of the later series.
+    """
+    series = [s for s in series if len(s) > 0]
+    if not series:
+        return "(no data)"
+    t_min = min(s.times[0] for s in series)
+    t_max = max(s.times[-1] for s in series)
+    if y_max is None:
+        y_max = max(max(s.values) for s in series) or 1.0
+    y_max *= 1.05
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, s in enumerate(series):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for t, v in zip(s.times, s.values):
+            if t_max == t_min:
+                column = 0
+            else:
+                column = int((t - t_min) / (t_max - t_min) * (width - 1))
+            row = height - 1 - int(min(v, y_max) / y_max * (height - 1))
+            row = min(max(row, 0), height - 1)
+            grid[row][column] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        y_value = y_max * (height - 1 - row_index) / (height - 1)
+        lines.append(f"{y_value:7.1f} |{''.join(row)}")
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(" " * 9 + f"{t_min:<10.2f}{'time [s]':^{max(width - 20, 10)}}{t_max:>10.2f}")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={s.label or f'series {i + 1}'}" for i, s in enumerate(series)
+    )
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)
+
+
+def plot_figure(per_path: Dict[int, TimeSeries], total: TimeSeries, *, title: str = "") -> str:
+    """Convenience wrapper: plot the per-path curves plus the total curve."""
+    ordered = [per_path[tag] for tag in sorted(per_path)]
+    for tag, s in zip(sorted(per_path), ordered):
+        if not s.label:
+            s.label = f"Path {tag}"
+    total.label = total.label or "Total"
+    return ascii_chart(ordered + [total], title=title)

@@ -1,0 +1,181 @@
+"""Experiment harness: configure, run and post-process one MPTCP measurement.
+
+This is the programmatic equivalent of the paper's measurement procedure
+(Section 2.2): build the Mininet-like network, pin the subflows to the
+pre-selected tagged paths, generate bulk traffic, capture packets with the
+tshark substitute at the receiver, filter by tag and bin into throughput time
+series, and compare the result against the analytical optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from ..core.connection import MptcpConnection
+from ..measure.convergence import ConvergenceReport, analyze_convergence
+from ..measure.flowstats import ConnectionStats, connection_stats
+from ..measure.sampling import TimeSeries, per_tag_timeseries, total_timeseries
+from ..model.bottleneck import ConstraintSystem, build_constraints
+from ..model.lp import LpResult, max_total_throughput
+from ..model.paths import PathSet
+from ..netsim.network import Network
+from ..netsim.topology import Topology
+from ..topologies.paper import PAPER_DEFAULT_PATH_INDEX, paper_scenario
+from ..units import DEFAULT_MSS
+
+ScenarioBuilder = Callable[[], Tuple[Topology, PathSet]]
+
+
+@dataclass
+class ExperimentConfig:
+    """Configuration of one measurement run.
+
+    The defaults reproduce the paper's setup: the Fig. 1a topology, three
+    tagged subflows with Path 2 as the default path, a greedy bulk source and
+    100 ms receiver-side sampling.
+    """
+
+    name: str = "paper"
+    scenario: Union[ScenarioBuilder, Tuple[Topology, PathSet], None] = None
+    congestion_control: str = "cubic"
+    scheduler: str = "minrtt"
+    default_path_index: int = PAPER_DEFAULT_PATH_INDEX
+    duration: float = 4.0
+    sampling_interval: float = 0.1
+    mss: int = DEFAULT_MSS
+    join_delay: float = 0.0
+    send_buffer_bytes: Optional[int] = None
+    total_bytes: Optional[int] = None
+    warmup: float = 0.0
+    paper_variant: str = "as_stated"
+    extra: dict = field(default_factory=dict)
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """A copy of this configuration with some fields replaced."""
+        return replace(self, **kwargs)
+
+    def build_scenario(self) -> Tuple[Topology, PathSet]:
+        if self.scenario is None:
+            return paper_scenario(self.paper_variant)
+        if callable(self.scenario):
+            return self.scenario()
+        return self.scenario
+
+
+@dataclass
+class ExperimentResult:
+    """Everything produced by one run."""
+
+    config: ExperimentConfig
+    per_path_series: Dict[int, TimeSeries]
+    total_series: TimeSeries
+    optimum: LpResult
+    convergence: ConvergenceReport
+    stats: ConnectionStats
+    constraint_system: ConstraintSystem
+    drops: int
+    events_processed: int
+
+    # ------------------------------------------------------------------
+    @property
+    def achieved_total_mbps(self) -> float:
+        """Mean total throughput over the second half of the run."""
+        return self.convergence.achieved_mean
+
+    @property
+    def optimal_total_mbps(self) -> float:
+        return self.optimum.total
+
+    @property
+    def utilization_of_optimum(self) -> float:
+        return self.convergence.utilization_of_optimum
+
+    def path_series(self, tag: int) -> TimeSeries:
+        return self.per_path_series[tag]
+
+    def summary(self) -> dict:
+        return {
+            "name": self.config.name,
+            "congestion_control": self.config.congestion_control,
+            "scheduler": self.config.scheduler,
+            "default_path_index": self.config.default_path_index,
+            "duration_s": self.config.duration,
+            "optimum_mbps": round(self.optimum.total, 3),
+            "achieved_mean_mbps": round(self.achieved_total_mbps, 3),
+            "utilization_of_optimum": round(self.utilization_of_optimum, 4),
+            "reached_optimum": self.convergence.reached_optimum,
+            "time_to_optimum_s": self.convergence.time_to_optimum,
+            "stability_cv": round(self.convergence.stability_cv, 4),
+            "drops": self.drops,
+            "retransmissions": self.stats.retransmissions,
+        }
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one measurement and return its post-processed result."""
+    topology, paths = config.build_scenario()
+    network = Network(topology)
+    capture = network.attach_capture(paths.dst, data_only=True)
+
+    connection = MptcpConnection(
+        network,
+        paths.src,
+        paths.dst,
+        paths,
+        congestion_control=config.congestion_control,
+        scheduler=config.scheduler,
+        default_path_index=config.default_path_index,
+        mss=config.mss,
+        total_bytes=config.total_bytes,
+        send_buffer_bytes=config.send_buffer_bytes,
+        join_delay=config.join_delay,
+    )
+    connection.start(at=0.0)
+    network.run(config.duration)
+
+    start = config.warmup
+    end = config.duration
+    tags = [path.tag for path in paths]
+    per_path = per_tag_timeseries(
+        capture, config.sampling_interval, start=start, end=end, tags=tags
+    )
+    total = total_timeseries(capture, config.sampling_interval, start=start, end=end)
+
+    system = build_constraints(topology, paths)
+    optimum = max_total_throughput(system)
+    convergence = analyze_convergence(total, optimum.total)
+    stats = connection_stats(connection, config.duration)
+
+    return ExperimentResult(
+        config=config,
+        per_path_series=per_path,
+        total_series=total,
+        optimum=optimum,
+        convergence=convergence,
+        stats=stats,
+        constraint_system=system,
+        drops=network.total_drops(),
+        events_processed=network.sim.events_processed,
+    )
+
+
+def paper_experiment(
+    congestion_control: str = "cubic",
+    *,
+    duration: float = 4.0,
+    sampling_interval: float = 0.1,
+    default_path_index: int = PAPER_DEFAULT_PATH_INDEX,
+    variant: str = "as_stated",
+    **overrides,
+) -> ExperimentConfig:
+    """Convenience constructor for paper-topology experiment configurations."""
+    return ExperimentConfig(
+        name=f"paper-{congestion_control}",
+        congestion_control=congestion_control,
+        duration=duration,
+        sampling_interval=sampling_interval,
+        default_path_index=default_path_index,
+        paper_variant=variant,
+        **overrides,
+    )

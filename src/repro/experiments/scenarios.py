@@ -1,0 +1,128 @@
+"""Named experiment sweeps behind the Results-section claims and the ablations.
+
+* :func:`cc_comparison` -- RES-CC: run CUBIC, LIA and OLIA (and optionally the
+  extension algorithms) on the paper topology and report who reaches the
+  optimum, how fast and how stably.
+* :func:`olia_default_path_sweep` -- RES-OLIA-DEFAULT: the paper observed
+  that OLIA only reached the optimum when Path 2 was the default path.
+* :func:`scheduler_comparison` -- ABL-SCHED: the data-scheduler ablation.
+* :func:`queue_size_sweep` -- ablation over the bottleneck buffer size.
+* :func:`variant_comparison` -- both capacity labellings of the topology.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.coupled import PAPER_ALGORITHMS
+from ..topologies.paper import PAPER_DEFAULT_PATH_INDEX, paper_scenario
+from .harness import ExperimentConfig, ExperimentResult, paper_experiment, run_experiment
+
+
+def cc_comparison(
+    algorithms: Sequence[str] = PAPER_ALGORITHMS,
+    *,
+    duration: float = 4.0,
+    sampling_interval: float = 0.1,
+    default_path_index: int = PAPER_DEFAULT_PATH_INDEX,
+    variant: str = "as_stated",
+) -> Dict[str, ExperimentResult]:
+    """Run the paper experiment once per congestion-control algorithm."""
+    results: Dict[str, ExperimentResult] = {}
+    for algorithm in algorithms:
+        config = paper_experiment(
+            algorithm,
+            duration=duration,
+            sampling_interval=sampling_interval,
+            default_path_index=default_path_index,
+            variant=variant,
+        )
+        results[algorithm] = run_experiment(config)
+    return results
+
+
+def olia_default_path_sweep(
+    *,
+    duration: float = 4.0,
+    sampling_interval: float = 0.1,
+    algorithm: str = "olia",
+    variant: str = "as_stated",
+) -> Dict[int, ExperimentResult]:
+    """Sweep which path is the default (shortest) path, keyed by path index."""
+    results: Dict[int, ExperimentResult] = {}
+    for default_index in range(3):
+        config = paper_experiment(
+            algorithm,
+            duration=duration,
+            sampling_interval=sampling_interval,
+            default_path_index=default_index,
+            variant=variant,
+        )
+        config = config.with_overrides(name=f"paper-{algorithm}-default{default_index + 1}")
+        results[default_index] = run_experiment(config)
+    return results
+
+
+def scheduler_comparison(
+    schedulers: Sequence[str] = ("minrtt", "roundrobin", "redundant"),
+    *,
+    congestion_control: str = "cubic",
+    duration: float = 3.0,
+    sampling_interval: float = 0.1,
+    send_buffer_bytes: Optional[int] = 256 * 1024,
+    variant: str = "as_stated",
+) -> Dict[str, ExperimentResult]:
+    """Ablate the MPTCP data scheduler (with a bounded send buffer so it matters)."""
+    results: Dict[str, ExperimentResult] = {}
+    for scheduler in schedulers:
+        config = paper_experiment(
+            congestion_control,
+            duration=duration,
+            sampling_interval=sampling_interval,
+            variant=variant,
+        )
+        config = config.with_overrides(
+            name=f"paper-{congestion_control}-{scheduler}",
+            scheduler=scheduler,
+            send_buffer_bytes=send_buffer_bytes,
+        )
+        results[scheduler] = run_experiment(config)
+    return results
+
+
+def queue_size_sweep(
+    queue_sizes: Iterable[int] = (25, 50, 100, 200),
+    *,
+    congestion_control: str = "cubic",
+    duration: float = 3.0,
+    variant: str = "as_stated",
+) -> Dict[int, ExperimentResult]:
+    """Ablate the bottleneck buffer size (design decision #1 in DESIGN.md)."""
+    results: Dict[int, ExperimentResult] = {}
+    for queue_packets in queue_sizes:
+        config = ExperimentConfig(
+            name=f"paper-{congestion_control}-q{queue_packets}",
+            scenario=lambda qp=queue_packets: paper_scenario(variant, queue_packets=qp),
+            congestion_control=congestion_control,
+            duration=duration,
+            paper_variant=variant,
+        )
+        results[queue_packets] = run_experiment(config)
+    return results
+
+
+def variant_comparison(
+    *, congestion_control: str = "cubic", duration: float = 4.0
+) -> Dict[str, ExperimentResult]:
+    """Run both capacity labellings of the paper topology."""
+    results: Dict[str, ExperimentResult] = {}
+    for variant in ("as_stated", "as_solution"):
+        config = paper_experiment(congestion_control, duration=duration, variant=variant)
+        config = config.with_overrides(name=f"paper-{congestion_control}-{variant}")
+        results[variant] = run_experiment(config)
+    return results
+
+
+def summarize_results(results: Dict[str, ExperimentResult]) -> List[dict]:
+    """One summary dictionary per run (used by benchmarks and the CLI)."""
+    return [result.summary() | {"key": str(key)} for key, result in results.items()]

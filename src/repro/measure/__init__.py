@@ -1,0 +1,39 @@
+"""Measurement and post-processing: sampling, convergence, statistics, reports."""
+
+from .convergence import (
+    ConvergenceReport,
+    analyze_convergence,
+    stability_coefficient,
+    sustained_time_to_fraction,
+    time_to_fraction,
+)
+from .flowstats import ConnectionStats, SubflowStats, connection_stats, subflow_stats
+from .report import comparison_row, format_comparison, format_table, print_section
+from .sampling import (
+    TimeSeries,
+    per_tag_timeseries,
+    sum_series,
+    throughput_timeseries,
+    total_timeseries,
+)
+
+__all__ = [
+    "ConnectionStats",
+    "ConvergenceReport",
+    "SubflowStats",
+    "TimeSeries",
+    "analyze_convergence",
+    "comparison_row",
+    "connection_stats",
+    "format_comparison",
+    "format_table",
+    "per_tag_timeseries",
+    "print_section",
+    "stability_coefficient",
+    "subflow_stats",
+    "sum_series",
+    "sustained_time_to_fraction",
+    "throughput_timeseries",
+    "time_to_fraction",
+    "total_timeseries",
+]

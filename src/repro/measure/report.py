@@ -1,0 +1,77 @@
+"""Plain-text reporting helpers (tables and paper-vs-measured comparisons).
+
+Benchmarks and examples print their results through these helpers so every
+figure/table reproduction emits the same row format that EXPERIMENTS.md
+records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    if cell is None:
+        return "-"
+    return str(cell)
+
+
+def comparison_row(
+    experiment: str,
+    metric: str,
+    paper_value: object,
+    measured_value: object,
+    note: str = "",
+) -> Dict[str, object]:
+    """One paper-vs-measured record, as written to EXPERIMENTS.md."""
+    return {
+        "experiment": experiment,
+        "metric": metric,
+        "paper": paper_value,
+        "measured": measured_value,
+        "note": note,
+    }
+
+
+def format_comparison(rows: List[Dict[str, object]]) -> str:
+    """Render paper-vs-measured rows as a table."""
+    return format_table(
+        ["experiment", "metric", "paper", "measured", "note"],
+        [[r["experiment"], r["metric"], r["paper"], r["measured"], r.get("note", "")] for r in rows],
+    )
+
+
+def series_summary_row(label: str, mean: float, peak: float, stddev: float) -> List[object]:
+    return [label, mean, peak, stddev]
+
+
+def print_section(title: str, body: str = "", *, out=None) -> None:
+    """Print a titled section (used by the example scripts)."""
+    import sys
+
+    stream = out if out is not None else sys.stdout
+    line = "=" * max(len(title), 8)
+    print(line, file=stream)
+    print(title, file=stream)
+    print(line, file=stream)
+    if body:
+        print(body, file=stream)
+    print(file=stream)

@@ -1,0 +1,173 @@
+"""Throughput time series from captured packets (the tshark post-processing).
+
+The paper reports "the throughput of each flow sampled with 10 or 100 ms by
+tshark at the receiver side".  :func:`throughput_timeseries` performs the same
+binning: captured packet records are filtered (typically by tag) and the bytes
+received in each sampling interval are converted to Mbps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..netsim.capture import CaptureRecord, PacketCapture
+from ..units import throughput_mbps
+
+
+@dataclass
+class TimeSeries:
+    """A regularly sampled throughput series.
+
+    ``times[i]`` is the *end* of the i-th sampling interval and ``values[i]``
+    the mean throughput (Mbps) inside that interval, matching how tshark's
+    ``io,stat`` output is usually plotted.
+    """
+
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+    label: str = ""
+    interval: float = 0.1
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    # ------------------------------------------------------------------ stats
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    def stddev(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mean = self.mean()
+        variance = sum((v - mean) ** 2 for v in self.values) / (len(self.values) - 1)
+        return variance ** 0.5
+
+    def coefficient_of_variation(self) -> float:
+        mean = self.mean()
+        return self.stddev() / mean if mean > 0 else 0.0
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """The sub-series with ``start < time <= end``."""
+        pairs = [(t, v) for t, v in zip(self.times, self.values) if start < t <= end]
+        return TimeSeries(
+            times=[t for t, _ in pairs],
+            values=[v for _, v in pairs],
+            label=self.label,
+            interval=self.interval,
+        )
+
+    def mean_over(self, start: float, end: float) -> float:
+        return self.window(start, end).mean()
+
+    def value_at(self, time: float) -> float:
+        """The sample whose interval contains ``time`` (0 outside the series)."""
+        for t, v in zip(self.times, self.values):
+            if t - self.interval < time <= t:
+                return v
+        return 0.0
+
+    def first_time_above(self, threshold: float) -> Optional[float]:
+        """First sample time whose value is at least ``threshold`` (or None)."""
+        for t, v in zip(self.times, self.values):
+            if v >= threshold:
+                return t
+        return None
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of samples at or above ``threshold``."""
+        if not self.values:
+            return 0.0
+        return sum(1 for v in self.values if v >= threshold) / len(self.values)
+
+
+def throughput_timeseries(
+    records: Iterable[CaptureRecord],
+    interval: float = 0.1,
+    *,
+    start: float = 0.0,
+    end: Optional[float] = None,
+    use_payload: bool = False,
+    label: str = "",
+) -> TimeSeries:
+    """Bin captured packets into a throughput time series.
+
+    Parameters
+    ----------
+    records:
+        Capture records (typically ``capture.filter(tag=...)``).
+    interval:
+        Sampling interval in seconds (the paper uses 0.01 and 0.1).
+    start, end:
+        Time range; ``end`` defaults to the last record's timestamp rounded up
+        to a full interval.
+    use_payload:
+        Count payload bytes only instead of wire bytes (goodput vs throughput).
+    """
+    records = list(records)
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    if end is None:
+        end = max((r.time for r in records), default=start) + interval
+    bin_count = max(int((end - start) / interval + 0.5), 1)
+    bins = [0] * bin_count
+    for record in records:
+        if record.time < start or record.time > end:
+            continue
+        index = min(int((record.time - start) / interval), bin_count - 1)
+        bins[index] += record.payload_len if use_payload else record.size
+
+    times = [start + (i + 1) * interval for i in range(bin_count)]
+    values = [throughput_mbps(num_bytes, interval) for num_bytes in bins]
+    return TimeSeries(times=times, values=values, label=label, interval=interval)
+
+
+def per_tag_timeseries(
+    capture: PacketCapture,
+    interval: float = 0.1,
+    *,
+    start: float = 0.0,
+    end: Optional[float] = None,
+    tags: Optional[Sequence[int]] = None,
+) -> Dict[int, TimeSeries]:
+    """One throughput series per tag seen in the capture (the Fig. 2 curves)."""
+    if tags is None:
+        tags = capture.tags()
+    return {
+        tag: throughput_timeseries(
+            capture.filter(tag=tag), interval, start=start, end=end, label=f"tag {tag}"
+        )
+        for tag in tags
+    }
+
+
+def total_timeseries(
+    capture: PacketCapture,
+    interval: float = 0.1,
+    *,
+    start: float = 0.0,
+    end: Optional[float] = None,
+) -> TimeSeries:
+    """Aggregate throughput series over all data packets (the 'Total' curve)."""
+    return throughput_timeseries(
+        capture.filter(data_only=True), interval, start=start, end=end, label="Total"
+    )
+
+
+def sum_series(series: Sequence[TimeSeries], label: str = "Total") -> TimeSeries:
+    """Pointwise sum of series sampled on the same grid."""
+    if not series:
+        return TimeSeries(label=label)
+    length = min(len(s) for s in series)
+    times = list(series[0].times[:length])
+    values = [sum(s.values[i] for s in series) for i in range(length)]
+    return TimeSeries(times=times, values=values, label=label, interval=series[0].interval)

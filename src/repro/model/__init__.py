@@ -1,0 +1,60 @@
+"""Analytical model of MPTCP throughput over overlapping paths.
+
+This package contains everything needed to reason about the paper's
+optimisation problem without running the packet simulator: path overlap
+analysis, constraint extraction (Fig. 1c), the max-throughput LP and its
+optimum, alternative allocations (max-min fair, proportionally fair, greedy),
+Pareto-optimality checks, projected-gradient ascent and fluid models of the
+congestion-control dynamics.
+"""
+
+from .bottleneck import Constraint, ConstraintSystem, build_constraints, shared_bottleneck_summary
+from .fluid import FluidModel, FluidResult, compare_equilibria
+from .gradient import GradientTrace, project_onto_feasible, projected_gradient_ascent
+from .greedy import GreedyResult, best_greedy_order, greedy_fill, worst_greedy_order
+from .lp import LpResult, max_total_throughput, proportional_fair_rates
+from .maxmin import MaxMinResult, max_min_fair_rates
+from .pareto import (
+    Exchange,
+    blocking_constraints,
+    improving_exchange,
+    is_pareto_optimal,
+    optimality_gap,
+    pareto_frontier_2d,
+)
+from .paths import Path, PathSet, paths_from_node_lists
+from .polytope import enumerate_vertices, feasible_region_volume, maximize_over_vertices
+
+__all__ = [
+    "Constraint",
+    "ConstraintSystem",
+    "Exchange",
+    "FluidModel",
+    "FluidResult",
+    "GradientTrace",
+    "GreedyResult",
+    "LpResult",
+    "MaxMinResult",
+    "Path",
+    "PathSet",
+    "best_greedy_order",
+    "blocking_constraints",
+    "build_constraints",
+    "compare_equilibria",
+    "enumerate_vertices",
+    "feasible_region_volume",
+    "greedy_fill",
+    "improving_exchange",
+    "is_pareto_optimal",
+    "max_min_fair_rates",
+    "max_total_throughput",
+    "maximize_over_vertices",
+    "optimality_gap",
+    "pareto_frontier_2d",
+    "paths_from_node_lists",
+    "project_onto_feasible",
+    "projected_gradient_ascent",
+    "proportional_fair_rates",
+    "shared_bottleneck_summary",
+    "worst_greedy_order",
+]

@@ -1,0 +1,176 @@
+"""Fluid (differential-equation) models of MPTCP congestion control.
+
+The packet-level simulator reproduces the measured dynamics; the fluid model
+complements it with a cheap, deterministic approximation of the *equilibrium*
+rates each congestion-control family settles at on a set of overlapping
+paths.  Links generate a loss signal once the offered load approaches their
+capacity, and every path's window follows the increase/decrease rules of the
+chosen algorithm in expectation:
+
+* ``uncoupled`` -- per-path AIMD (Reno-like; a proxy for independent CUBIC)
+* ``lia``       -- RFC 6356 coupled increase, per-path halving
+* ``olia``      -- Khalili et al.'s increase term (without the alpha
+  rebalancing, which needs loss history), per-path halving
+
+The model is deliberately simple -- its role is to show who *under-utilises*
+the network at equilibrium, which matches the ordering observed in the paper
+(uncoupled > OLIA > LIA on aggregate throughput).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+from ..units import DEFAULT_MSS, bytes_to_bits
+from .bottleneck import ConstraintSystem
+
+
+@dataclass
+class FluidResult:
+    """Trajectory and equilibrium of a fluid-model run."""
+
+    times: List[float]
+    rates_mbps: List[List[float]]  # one row per time step, one column per path
+    algorithm: str = "uncoupled"
+
+    @property
+    def final_rates(self) -> List[float]:
+        return self.rates_mbps[-1]
+
+    @property
+    def final_total(self) -> float:
+        return float(sum(self.rates_mbps[-1]))
+
+    def mean_rates(self, last_fraction: float = 0.25) -> List[float]:
+        """Average per-path rate over the last ``last_fraction`` of the run."""
+        start = int(len(self.rates_mbps) * (1.0 - last_fraction))
+        window = np.asarray(self.rates_mbps[start:])
+        return [float(v) for v in window.mean(axis=0)]
+
+    def mean_total(self, last_fraction: float = 0.25) -> float:
+        return float(sum(self.mean_rates(last_fraction)))
+
+
+class FluidModel:
+    """Discrete-time fluid simulation of coupled/uncoupled MPTCP.
+
+    Parameters
+    ----------
+    system:
+        The link-capacity constraint system (capacities in Mbps).
+    rtts:
+        Per-path round-trip times in seconds (default 10 ms each).
+    mss:
+        Segment size in bytes used to convert windows to rates.
+    loss_sharpness:
+        How quickly the loss signal grows once a link exceeds capacity.
+    """
+
+    def __init__(
+        self,
+        system: ConstraintSystem,
+        rtts: Optional[Sequence[float]] = None,
+        *,
+        mss: int = DEFAULT_MSS,
+        loss_sharpness: float = 20.0,
+    ) -> None:
+        self.system = system
+        self.n = system.path_count
+        if rtts is None:
+            rtts = [0.01] * self.n
+        if len(rtts) != self.n:
+            raise ModelError("rtts length must match the number of paths")
+        self.rtts = [float(r) for r in rtts]
+        self.mss = mss
+        self.loss_sharpness = loss_sharpness
+        self._a = system.matrix()
+        self._capacity_mbps = system.rhs()
+
+    # ------------------------------------------------------------------
+    def _window_to_mbps(self, windows: np.ndarray) -> np.ndarray:
+        packets_per_second = windows / np.asarray(self.rtts)
+        return packets_per_second * bytes_to_bits(self.mss) / 1e6
+
+    def _loss_probability(self, rates_mbps: np.ndarray) -> np.ndarray:
+        """Per-path loss probability from link overload.
+
+        A link that receives more traffic than it can carry drops the excess
+        fraction ``(load - capacity) / load``; ``loss_sharpness`` steepens the
+        onset so that the equilibrium sits close to full utilisation.
+        """
+        link_load = self._a @ rates_mbps
+        with np.errstate(divide="ignore", invalid="ignore"):
+            excess_fraction = np.where(
+                link_load > 0,
+                np.maximum(link_load - self._capacity_mbps, 0.0) / np.maximum(link_load, 1e-9),
+                0.0,
+            )
+        link_loss = np.minimum(excess_fraction * max(self.loss_sharpness / 20.0, 1.0), 1.0)
+        # A path's loss probability is approximately the sum over its links.
+        path_loss = self._a.T @ link_loss
+        return np.minimum(path_loss, 1.0)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        algorithm: str = "uncoupled",
+        *,
+        duration: float = 20.0,
+        dt: float = 0.005,
+        initial_window: float = 2.0,
+    ) -> FluidResult:
+        """Integrate the window dynamics and return the rate trajectory."""
+        algorithm = algorithm.lower()
+        if algorithm not in ("uncoupled", "reno", "cubic", "lia", "olia"):
+            raise ModelError(f"unknown fluid algorithm {algorithm!r}")
+        steps = int(duration / dt)
+        windows = np.full(self.n, float(initial_window))
+        rtts = np.asarray(self.rtts)
+        times: List[float] = []
+        rates_log: List[List[float]] = []
+
+        for step in range(steps):
+            rates_mbps = self._window_to_mbps(windows)
+            loss = self._loss_probability(rates_mbps)
+            acks_per_second = windows * (1.0 - loss) / rtts
+            increase = self._increase_per_ack(algorithm, windows, rtts) * acks_per_second
+            loss_events_per_second = windows * loss / rtts
+            decrease = loss_events_per_second * windows / 2.0
+            windows = np.maximum(windows + dt * (increase - decrease), 1.0)
+
+            if step % 10 == 0:
+                times.append(step * dt)
+                rates_log.append([float(v) for v in self._window_to_mbps(windows)])
+
+        return FluidResult(times=times, rates_mbps=rates_log, algorithm=algorithm)
+
+    # ------------------------------------------------------------------
+    def _increase_per_ack(self, algorithm: str, windows: np.ndarray, rtts: np.ndarray) -> np.ndarray:
+        if algorithm in ("uncoupled", "reno", "cubic"):
+            return 1.0 / windows
+        total_rate = float(np.sum(windows / rtts))
+        if total_rate <= 0:
+            return 1.0 / np.maximum(windows, 1.0)
+        if algorithm == "lia":
+            alpha = float(np.sum(windows)) * float(np.max(windows / rtts ** 2)) / (total_rate ** 2)
+            coupled = alpha / float(np.sum(windows))
+            return np.minimum(coupled, 1.0 / windows)
+        if algorithm == "olia":
+            return (windows / rtts ** 2) / (total_rate ** 2)
+        raise ModelError(f"unknown fluid algorithm {algorithm!r}")  # pragma: no cover
+
+
+def compare_equilibria(
+    system: ConstraintSystem,
+    algorithms: Sequence[str] = ("uncoupled", "lia", "olia"),
+    *,
+    rtts: Optional[Sequence[float]] = None,
+    duration: float = 30.0,
+) -> Dict[str, FluidResult]:
+    """Run the fluid model for several algorithms on the same constraint system."""
+    model = FluidModel(system, rtts)
+    return {name: model.run(name, duration=duration) for name in algorithms}

@@ -1,0 +1,47 @@
+"""Discrete-event, packet-level network substrate (the Mininet substitute).
+
+Public surface:
+
+* :class:`Simulator` / :class:`Event` -- the event loop
+* :class:`Packet` -- the wire unit
+* :class:`Topology` / :class:`LinkSpec` -- declarative topology
+* :class:`Network` -- instantiated topology (nodes, links, captures)
+* :class:`Host`, :class:`Router`, :class:`Link` -- simulation objects
+* queues -- :class:`DropTailQueue`, :class:`REDQueue`
+* routing -- :class:`TagRoutingTable`, :class:`StaticRoutingTable`, :class:`EcmpRoutingTable`
+* :class:`PacketCapture` -- the tshark substitute
+"""
+
+from .capture import CaptureRecord, PacketCapture
+from .engine import Event, Simulator
+from .link import Link
+from .network import Network
+from .node import Host, Node, Router
+from .packet import Packet
+from .queues import DropTailQueue, Queue, REDQueue, make_queue
+from .routing import EcmpRoutingTable, RoutingTable, StaticRoutingTable, TagRoutingTable
+from .topology import LinkSpec, NodeSpec, Topology
+
+__all__ = [
+    "CaptureRecord",
+    "DropTailQueue",
+    "EcmpRoutingTable",
+    "Event",
+    "Host",
+    "Link",
+    "LinkSpec",
+    "Network",
+    "Node",
+    "NodeSpec",
+    "Packet",
+    "PacketCapture",
+    "Queue",
+    "REDQueue",
+    "Router",
+    "RoutingTable",
+    "Simulator",
+    "StaticRoutingTable",
+    "TagRoutingTable",
+    "Topology",
+    "make_queue",
+]

@@ -1,0 +1,118 @@
+"""Receiver-side packet capture (the tshark substitute).
+
+The paper captures the data stream with tshark at the destination node and
+filters the captured packets by tag to determine how MPTCP split the traffic
+among subflows.  :class:`PacketCapture` records one :class:`CaptureRecord`
+per delivered packet and offers the same filter-then-bin workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+from .packet import Packet
+
+
+@dataclass(frozen=True)
+class CaptureRecord:
+    """One captured packet, as tshark would log it at the receiver."""
+
+    time: float
+    size: int
+    payload_len: int
+    tag: Optional[int]
+    flow_id: int
+    subflow_id: int
+    is_ack: bool
+    seq: int
+    dsn: int
+    is_retransmission: bool
+
+
+class PacketCapture:
+    """Collects per-packet records at a host.
+
+    Attach it with ``host.add_capture(capture.on_packet)`` or via
+    :meth:`repro.netsim.network.Network.attach_capture`.
+    """
+
+    def __init__(self, name: str = "capture", *, data_only: bool = False) -> None:
+        self.name = name
+        self.data_only = data_only
+        self.records: List[CaptureRecord] = []
+
+    # ------------------------------------------------------------------
+    def on_packet(self, packet: Packet, now: float) -> None:
+        """Capture tap compatible with :meth:`Host.add_capture`."""
+        if self.data_only and packet.is_ack:
+            return
+        self.records.append(
+            CaptureRecord(
+                time=now,
+                size=packet.size,
+                payload_len=packet.payload_len,
+                tag=packet.tag,
+                flow_id=packet.flow_id,
+                subflow_id=packet.subflow_id,
+                is_ack=packet.is_ack,
+                seq=packet.seq,
+                dsn=packet.dsn,
+                is_retransmission=packet.is_retransmission,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def filter(
+        self,
+        *,
+        tag: Optional[int] = None,
+        subflow_id: Optional[int] = None,
+        flow_id: Optional[int] = None,
+        data_only: bool = True,
+        predicate: Optional[Callable[[CaptureRecord], bool]] = None,
+    ) -> List[CaptureRecord]:
+        """Return records matching the given filters (tshark display filter)."""
+        selected: List[CaptureRecord] = []
+        for record in self.records:
+            if data_only and record.is_ack:
+                continue
+            if tag is not None and record.tag != tag:
+                continue
+            if subflow_id is not None and record.subflow_id != subflow_id:
+                continue
+            if flow_id is not None and record.flow_id != flow_id:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            selected.append(record)
+        return selected
+
+    def tags(self) -> List[int]:
+        """Distinct tags seen on captured data packets, sorted."""
+        return sorted({r.tag for r in self.records if r.tag is not None and not r.is_ack})
+
+    def subflow_ids(self) -> List[int]:
+        """Distinct subflow identifiers seen on captured data packets, sorted."""
+        return sorted({r.subflow_id for r in self.records if not r.is_ack})
+
+    def bytes_captured(self, *, data_only: bool = True) -> int:
+        """Total wire bytes captured (data packets only by default)."""
+        return sum(r.size for r in self.records if not (data_only and r.is_ack))
+
+    def payload_bytes(self, records: Optional[Iterable[CaptureRecord]] = None) -> int:
+        """Total payload bytes across ``records`` (defaults to every record)."""
+        selected = self.records if records is None else records
+        return sum(r.payload_len for r in selected)
+
+    def first_time(self) -> float:
+        return self.records[0].time if self.records else 0.0
+
+    def last_time(self) -> float:
+        return self.records[-1].time if self.records else 0.0

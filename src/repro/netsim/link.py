@@ -1,0 +1,126 @@
+"""Unidirectional link model: serialisation, propagation delay, queueing.
+
+Each :class:`Link` owns one transmitter and one bounded queue.  When the link
+is idle an offered packet starts serialising immediately; otherwise it is
+enqueued (and possibly dropped by the queue discipline).  After the
+serialisation time ``size * 8 / rate`` the packet propagates for ``delay``
+seconds and is then delivered to the downstream node.
+
+This reproduces the behaviour of a ``tc htb`` shaped veth pair in the paper's
+Mininet setup: a fixed-rate bottleneck with a FIFO buffer in front of it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..units import transmission_time
+from .packet import Packet
+from .queues import DropTailQueue, Queue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Simulator
+    from .node import Node
+
+
+class LinkStats:
+    """Counters kept by each link for utilisation reporting."""
+
+    __slots__ = ("packets_sent", "bytes_sent", "packets_dropped", "busy_time")
+
+    def __init__(self) -> None:
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.packets_dropped = 0
+        self.busy_time = 0.0
+
+    def utilization(self, rate_bps: float, duration: float) -> float:
+        """Fraction of ``duration`` the link spent transmitting."""
+        if duration <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / duration)
+
+
+class Link:
+    """A unidirectional, rate-limited, store-and-forward link.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event simulator that drives this link.
+    src, dst:
+        Upstream and downstream :class:`~repro.netsim.node.Node` objects.
+    rate_bps:
+        Transmission rate in bits per second.
+    delay:
+        One-way propagation delay in seconds.
+    queue:
+        Queue discipline; defaults to a 100-packet drop-tail queue.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        src: "Node",
+        dst: "Node",
+        rate_bps: float,
+        delay: float,
+        queue: Optional[Queue] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if delay < 0:
+            raise ValueError("link delay cannot be negative")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.rate_bps = float(rate_bps)
+        self.delay = float(delay)
+        self.queue = queue if queue is not None else DropTailQueue()
+        self.name = name or f"{src.name}->{dst.name}"
+        self.stats = LinkStats()
+        self._busy = False
+
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Offer ``packet`` to the link.
+
+        Returns False if the packet was dropped by the queue discipline.
+        """
+        if self._busy:
+            return self.queue.enqueue(packet, self.sim.now)
+        self._start_transmission(packet)
+        return True
+
+    # ------------------------------------------------------------------
+    def _start_transmission(self, packet: Packet) -> None:
+        self._busy = True
+        tx_time = transmission_time(packet.size, self.rate_bps)
+        self.stats.busy_time += tx_time
+        self.sim.schedule(tx_time, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += packet.size
+        # Propagation: deliver to the downstream node after the one-way delay.
+        self.sim.schedule(self.delay, self._deliver, packet)
+        # Serve the next queued packet, if any.
+        next_packet = self.queue.dequeue()
+        if next_packet is not None:
+            self._start_transmission(next_packet)
+        else:
+            self._busy = False
+
+    def _deliver(self, packet: Packet) -> None:
+        packet.hops += 1
+        self.dst.receive(packet, self)
+
+    # ------------------------------------------------------------------
+    @property
+    def drops(self) -> int:
+        """Packets dropped at this link's queue."""
+        return self.queue.stats.dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Link({self.name}, {self.rate_bps / 1e6:.1f} Mbps, {self.delay * 1e3:.2f} ms)"

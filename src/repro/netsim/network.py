@@ -1,0 +1,149 @@
+"""Network: instantiate a topology into simulator objects (Mininet substitute).
+
+This is the library's equivalent of the paper's Mininet script: it creates
+hosts, routers and rate-limited links from a :class:`Topology`, holds the
+shared tag-routing table, installs the pre-selected paths, attaches captures
+and runs the simulation for a given duration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import TopologyError
+from ..units import mbps
+from .capture import PacketCapture
+from .engine import Simulator
+from .link import Link
+from .node import Host, Node, Router
+from .queues import make_queue
+from .routing import RoutingTable, StaticRoutingTable, TagRoutingTable
+from .topology import Topology
+
+
+class Network:
+    """A built (instantiated) network ready to run traffic.
+
+    Parameters
+    ----------
+    topology:
+        The declarative topology to instantiate.
+    sim:
+        Optional simulator to share with other components; a fresh one is
+        created otherwise.
+    routing:
+        Routing table shared by all nodes.  By default a
+        :class:`TagRoutingTable` with a shortest-path fallback is used, which
+        matches the paper's setup (tagged subflows plus a default route).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        sim: Optional[Simulator] = None,
+        routing: Optional[RoutingTable] = None,
+    ) -> None:
+        self.topology = topology
+        self.sim = sim if sim is not None else Simulator()
+        if routing is None:
+            fallback = StaticRoutingTable(topology.undirected_graph())
+            routing = TagRoutingTable(fallback=fallback)
+        self.routing = routing
+        self.nodes: Dict[str, Node] = {}
+        self.links: Dict[Tuple[str, str], Link] = {}
+        self._captures: Dict[str, PacketCapture] = {}
+        self._build()
+
+    # ------------------------------------------------------------------ build
+    def _build(self) -> None:
+        for spec in self.topology.nodes:
+            node_spec = self.topology.node(spec)
+            cls = Host if node_spec.kind == "host" else Router
+            self.nodes[spec] = cls(spec, self.sim, self.routing)
+        for link_spec in self.topology.links:
+            queue = make_queue(link_spec.queue_kind, link_spec.queue_packets)
+            link = Link(
+                self.sim,
+                self.nodes[link_spec.src],
+                self.nodes[link_spec.dst],
+                rate_bps=mbps(link_spec.capacity_mbps),
+                delay=link_spec.delay,
+                queue=queue,
+            )
+            self.nodes[link_spec.src].attach_link(link)
+            self.links[(link_spec.src, link_spec.dst)] = link
+
+    # ------------------------------------------------------------------ access
+    def node(self, name: str) -> Node:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise TopologyError(f"unknown node {name!r}") from None
+
+    def host(self, name: str) -> Host:
+        node = self.node(name)
+        if not isinstance(node, Host):
+            raise TopologyError(f"node {name!r} is not a host")
+        return node
+
+    def link(self, a: str, b: str) -> Link:
+        try:
+            return self.links[(a, b)]
+        except KeyError:
+            raise TopologyError(f"unknown link {a!r}->{b!r}") from None
+
+    # ------------------------------------------------------------------ paths
+    def install_path(
+        self,
+        nodes: Sequence[str],
+        tag: Optional[int],
+        *,
+        as_default: bool = False,
+    ) -> None:
+        """Install tag forwarding state for an explicit path.
+
+        Raises :class:`TopologyError` if the path uses a missing link and
+        requires the shared routing table to be tag-capable.
+        """
+        self.topology.validate_path(nodes)
+        if not isinstance(self.routing, TagRoutingTable):
+            raise TopologyError("install_path requires a TagRoutingTable")
+        self.routing.install_path(list(nodes), tag, as_default=as_default)
+
+    # ------------------------------------------------------------------ capture
+    def attach_capture(self, host_name: str, *, data_only: bool = False) -> PacketCapture:
+        """Attach (or return the existing) tshark-like capture at ``host_name``."""
+        if host_name in self._captures:
+            return self._captures[host_name]
+        capture = PacketCapture(name=f"{host_name}-capture", data_only=data_only)
+        self.host(host_name).add_capture(capture.on_packet)
+        self._captures[host_name] = capture
+        return capture
+
+    def capture(self, host_name: str) -> PacketCapture:
+        try:
+            return self._captures[host_name]
+        except KeyError:
+            raise TopologyError(f"no capture attached at {host_name!r}") from None
+
+    # ------------------------------------------------------------------ run
+    def run(self, duration: float) -> float:
+        """Run the simulation for ``duration`` seconds (from the current time)."""
+        return self.sim.run(until=self.sim.now + duration)
+
+    # ------------------------------------------------------------------ stats
+    def link_utilization(self, a: str, b: str, duration: float) -> float:
+        """Utilisation of the directed link ``a -> b`` over ``duration`` seconds."""
+        link = self.link(a, b)
+        return link.stats.utilization(link.rate_bps, duration)
+
+    def total_drops(self) -> int:
+        """Total packets dropped at any queue in the network."""
+        return sum(link.drops for link in self.links.values())
+
+    def drops_by_link(self) -> Dict[Tuple[str, str], int]:
+        """Per-link drop counts, keyed by (src, dst)."""
+        return {edge: link.drops for edge, link in self.links.items() if link.drops}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Network({self.topology.name!r}, nodes={len(self.nodes)}, links={len(self.links)})"

@@ -1,0 +1,120 @@
+"""Nodes: routers forward packets, hosts terminate transport agents.
+
+A :class:`Router` looks up the next hop in the routing table and pushes the
+packet onto the corresponding outgoing link.  A :class:`Host` additionally
+dispatches packets addressed to itself to the transport agent registered for
+``(flow_id, subflow_id)`` and feeds every delivered packet to the capture
+taps attached to it (the tshark substitute).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from ..errors import RoutingError
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Simulator
+    from .link import Link
+    from .routing import RoutingTable
+
+
+class NodeStats:
+    """Per-node forwarding counters."""
+
+    __slots__ = ("received", "forwarded", "delivered", "routing_drops")
+
+    def __init__(self) -> None:
+        self.received = 0
+        self.forwarded = 0
+        self.delivered = 0
+        self.routing_drops = 0
+
+
+class Node:
+    """A network node with outgoing links and a routing table."""
+
+    def __init__(self, name: str, sim: "Simulator", routing: Optional["RoutingTable"] = None) -> None:
+        self.name = name
+        self.sim = sim
+        self.routing = routing
+        self.links: Dict[str, "Link"] = {}
+        self.stats = NodeStats()
+
+    # ------------------------------------------------------------------
+    def attach_link(self, link: "Link") -> None:
+        """Register an outgoing link (keyed by the downstream node's name)."""
+        self.links[link.dst.name] = link
+
+    def link_to(self, neighbor: str) -> "Link":
+        try:
+            return self.links[neighbor]
+        except KeyError:
+            raise RoutingError(f"{self.name} has no link to {neighbor}") from None
+
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Originate or forward ``packet`` towards its destination."""
+        if self.routing is None:
+            raise RoutingError(f"node {self.name} has no routing table")
+        next_hop = self.routing.next_hop(self.name, packet)
+        if next_hop is None:
+            self.stats.routing_drops += 1
+            return False
+        return self.link_to(next_hop).send(packet)
+
+    def receive(self, packet: Packet, link: Optional["Link"] = None) -> None:
+        """Handle a packet arriving from ``link``."""
+        self.stats.received += 1
+        if packet.dst == self.name:
+            self.stats.delivered += 1
+            self._deliver_locally(packet)
+            return
+        self.stats.forwarded += 1
+        self.send(packet)
+
+    def _deliver_locally(self, packet: Packet) -> None:  # pragma: no cover - overridden
+        """Routers silently discard packets addressed to themselves."""
+
+
+class Router(Node):
+    """A pure forwarding node."""
+
+
+class Host(Node):
+    """An end host running transport agents and capture taps."""
+
+    def __init__(self, name: str, sim: "Simulator", routing: Optional["RoutingTable"] = None) -> None:
+        super().__init__(name, sim, routing)
+        self._agents: Dict[Tuple[int, int], object] = {}
+        self._captures: List[Callable[[Packet, float], None]] = []
+
+    # ------------------------------------------------------------------
+    def register_agent(self, flow_id: int, subflow_id: int, agent: object) -> None:
+        """Bind ``agent`` to packets of ``(flow_id, subflow_id)`` arriving here.
+
+        The agent must expose ``handle_packet(packet)``.
+        """
+        key = (flow_id, subflow_id)
+        if key in self._agents:
+            raise RoutingError(f"{self.name}: agent already registered for flow {key}")
+        self._agents[key] = agent
+
+    def unregister_agent(self, flow_id: int, subflow_id: int) -> None:
+        self._agents.pop((flow_id, subflow_id), None)
+
+    def add_capture(self, callback: Callable[[Packet, float], None]) -> None:
+        """Attach a capture tap invoked for every packet delivered to this host."""
+        self._captures.append(callback)
+
+    # ------------------------------------------------------------------
+    def _deliver_locally(self, packet: Packet) -> None:
+        for capture in self._captures:
+            capture(packet, self.sim.now)
+        agent = self._agents.get((packet.flow_id, packet.subflow_id))
+        if agent is None:
+            # Unknown flow: the packet is counted as delivered but ignored,
+            # mirroring a host without a listening socket.
+            return
+        agent.handle_packet(packet)  # type: ignore[attr-defined]

@@ -1,0 +1,157 @@
+"""Link queues.
+
+The paper's Mininet setup shapes links with ``tc htb`` and the default FIFO
+(drop-tail) queue discipline; packet losses caused by these queues are the
+only congestion signal the MPTCP subflows receive.  :class:`DropTailQueue`
+reproduces that behaviour.  :class:`REDQueue` (Random Early Detection) is
+provided as an extension so that the sensitivity of the results to AQM can be
+studied.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Optional
+
+from .packet import Packet
+
+
+class QueueStats:
+    """Counters exported by every queue implementation."""
+
+    __slots__ = ("enqueued", "dequeued", "dropped", "bytes_enqueued", "bytes_dropped", "max_depth")
+
+    def __init__(self) -> None:
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped = 0
+        self.bytes_enqueued = 0
+        self.bytes_dropped = 0
+        self.max_depth = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "enqueued": self.enqueued,
+            "dequeued": self.dequeued,
+            "dropped": self.dropped,
+            "bytes_enqueued": self.bytes_enqueued,
+            "bytes_dropped": self.bytes_dropped,
+            "max_depth": self.max_depth,
+        }
+
+
+class Queue(ABC):
+    """Abstract bounded packet queue."""
+
+    def __init__(self, capacity_packets: int = 100) -> None:
+        if capacity_packets <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity_packets = capacity_packets
+        self.stats = QueueStats()
+        self._queue: deque[Packet] = deque()
+        self._bytes = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def byte_count(self) -> int:
+        """Total bytes currently queued."""
+        return self._bytes
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def accepts(self, packet: Packet, now: float) -> bool:
+        """Return True if ``packet`` should be admitted at time ``now``."""
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        """Try to admit ``packet``; return False (and count a drop) otherwise."""
+        if not self.accepts(packet, now):
+            self.stats.dropped += 1
+            self.stats.bytes_dropped += packet.size
+            return False
+        packet.enqueued_at = now
+        self._queue.append(packet)
+        self._bytes += packet.size
+        self.stats.enqueued += 1
+        self.stats.bytes_enqueued += packet.size
+        if len(self._queue) > self.stats.max_depth:
+            self.stats.max_depth = len(self._queue)
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        """Remove and return the head-of-line packet, or None if empty."""
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bytes -= packet.size
+        self.stats.dequeued += 1
+        return packet
+
+
+class DropTailQueue(Queue):
+    """FIFO queue that drops arrivals once ``capacity_packets`` are queued."""
+
+    def accepts(self, packet: Packet, now: float) -> bool:
+        return len(self._queue) < self.capacity_packets
+
+
+class REDQueue(Queue):
+    """Random Early Detection queue (Floyd & Jacobson 1993), gentle variant.
+
+    Drops arriving packets probabilistically once the exponentially weighted
+    average queue length exceeds ``min_threshold``; above ``max_threshold``
+    the drop probability ramps from ``max_p`` to 1 (gentle RED).
+    """
+
+    def __init__(
+        self,
+        capacity_packets: int = 100,
+        *,
+        min_threshold: Optional[float] = None,
+        max_threshold: Optional[float] = None,
+        max_p: float = 0.1,
+        weight: float = 0.002,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(capacity_packets)
+        self.min_threshold = min_threshold if min_threshold is not None else capacity_packets * 0.25
+        self.max_threshold = max_threshold if max_threshold is not None else capacity_packets * 0.75
+        if self.max_threshold <= self.min_threshold:
+            raise ValueError("max_threshold must exceed min_threshold")
+        self.max_p = max_p
+        self.weight = weight
+        self._avg = 0.0
+        self._rng = random.Random(seed)
+
+    def accepts(self, packet: Packet, now: float) -> bool:
+        if len(self._queue) >= self.capacity_packets:
+            return False
+        self._avg = (1.0 - self.weight) * self._avg + self.weight * len(self._queue)
+        if self._avg < self.min_threshold:
+            return True
+        if self._avg < self.max_threshold:
+            fraction = (self._avg - self.min_threshold) / (self.max_threshold - self.min_threshold)
+            drop_probability = fraction * self.max_p
+        else:
+            # Gentle RED: ramp from max_p to 1 between max_threshold and 2*max_threshold.
+            fraction = (self._avg - self.max_threshold) / max(self.max_threshold, 1.0)
+            drop_probability = min(1.0, self.max_p + fraction * (1.0 - self.max_p))
+        return self._rng.random() >= drop_probability
+
+
+def make_queue(kind: str = "droptail", capacity_packets: int = 100, **kwargs) -> Queue:
+    """Factory for queue disciplines by name (``"droptail"`` or ``"red"``)."""
+    kind = kind.lower()
+    if kind in ("droptail", "fifo", "tail"):
+        return DropTailQueue(capacity_packets)
+    if kind == "red":
+        return REDQueue(capacity_packets, **kwargs)
+    raise ValueError(f"unknown queue discipline: {kind!r}")

@@ -1,0 +1,204 @@
+"""Declarative network topology.
+
+A :class:`Topology` is a lightweight description of hosts, routers and
+bidirectional links (capacity, delay, queue size) that is later instantiated
+into simulator objects by :class:`repro.netsim.network.Network`.  It is backed
+by a :mod:`networkx` graph so path enumeration and shortest-path queries are
+available directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..errors import TopologyError
+from ..units import DEFAULT_CAPACITY_MBPS, DEFAULT_LINK_DELAY, DEFAULT_QUEUE_PACKETS, mbps
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Description of one direction of a link."""
+
+    src: str
+    dst: str
+    capacity_mbps: float = DEFAULT_CAPACITY_MBPS
+    delay: float = DEFAULT_LINK_DELAY
+    queue_packets: int = DEFAULT_QUEUE_PACKETS
+    queue_kind: str = "droptail"
+
+    @property
+    def capacity_bps(self) -> float:
+        return mbps(self.capacity_mbps)
+
+    @property
+    def edge(self) -> Tuple[str, str]:
+        return (self.src, self.dst)
+
+
+@dataclass
+class NodeSpec:
+    """Description of a node."""
+
+    name: str
+    kind: str = "router"  # "router" or "host"
+    metadata: dict = field(default_factory=dict)
+
+
+class Topology:
+    """A named collection of nodes and bidirectional links."""
+
+    def __init__(self, name: str = "topology") -> None:
+        self.name = name
+        self._nodes: Dict[str, NodeSpec] = {}
+        self._links: Dict[Tuple[str, str], LinkSpec] = {}
+
+    # ------------------------------------------------------------------ nodes
+    def add_host(self, name: str, **metadata) -> None:
+        self._add_node(name, "host", metadata)
+
+    def add_router(self, name: str, **metadata) -> None:
+        self._add_node(name, "router", metadata)
+
+    def _add_node(self, name: str, kind: str, metadata: dict) -> None:
+        if name in self._nodes:
+            raise TopologyError(f"node {name!r} already exists")
+        self._nodes[name] = NodeSpec(name=name, kind=kind, metadata=dict(metadata))
+
+    def has_node(self, name: str) -> bool:
+        return name in self._nodes
+
+    def node(self, name: str) -> NodeSpec:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise TopologyError(f"unknown node {name!r}") from None
+
+    @property
+    def nodes(self) -> List[str]:
+        return list(self._nodes)
+
+    @property
+    def hosts(self) -> List[str]:
+        return [n.name for n in self._nodes.values() if n.kind == "host"]
+
+    @property
+    def routers(self) -> List[str]:
+        return [n.name for n in self._nodes.values() if n.kind == "router"]
+
+    # ------------------------------------------------------------------ links
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        capacity_mbps: float = DEFAULT_CAPACITY_MBPS,
+        delay: float = DEFAULT_LINK_DELAY,
+        queue_packets: int = DEFAULT_QUEUE_PACKETS,
+        queue_kind: str = "droptail",
+        *,
+        capacity_mbps_reverse: Optional[float] = None,
+    ) -> None:
+        """Add a bidirectional link between ``a`` and ``b``.
+
+        Both directions get the same parameters unless
+        ``capacity_mbps_reverse`` is given for an asymmetric link.
+        """
+        for name in (a, b):
+            if name not in self._nodes:
+                raise TopologyError(f"cannot link unknown node {name!r}")
+        if a == b:
+            raise TopologyError("self-loops are not allowed")
+        if (a, b) in self._links or (b, a) in self._links:
+            raise TopologyError(f"link {a!r}-{b!r} already exists")
+        if capacity_mbps <= 0:
+            raise TopologyError("link capacity must be positive")
+        self._links[(a, b)] = LinkSpec(a, b, capacity_mbps, delay, queue_packets, queue_kind)
+        reverse_capacity = capacity_mbps_reverse if capacity_mbps_reverse is not None else capacity_mbps
+        self._links[(b, a)] = LinkSpec(b, a, reverse_capacity, delay, queue_packets, queue_kind)
+
+    def has_link(self, a: str, b: str) -> bool:
+        return (a, b) in self._links
+
+    def link(self, a: str, b: str) -> LinkSpec:
+        try:
+            return self._links[(a, b)]
+        except KeyError:
+            raise TopologyError(f"unknown link {a!r}->{b!r}") from None
+
+    def set_capacity(self, a: str, b: str, capacity_mbps: float, *, bidirectional: bool = True) -> None:
+        """Change the capacity of an existing link."""
+        spec = self.link(a, b)
+        self._links[(a, b)] = LinkSpec(
+            a, b, capacity_mbps, spec.delay, spec.queue_packets, spec.queue_kind
+        )
+        if bidirectional:
+            rspec = self.link(b, a)
+            self._links[(b, a)] = LinkSpec(
+                b, a, capacity_mbps, rspec.delay, rspec.queue_packets, rspec.queue_kind
+            )
+
+    @property
+    def links(self) -> List[LinkSpec]:
+        """All directed link specs (two per bidirectional link)."""
+        return list(self._links.values())
+
+    def capacity_of(self, a: str, b: str) -> float:
+        """Capacity in Mbps of the directed link ``a -> b``."""
+        return self.link(a, b).capacity_mbps
+
+    # ------------------------------------------------------------------ graph
+    def graph(self) -> nx.DiGraph:
+        """Return a directed networkx view with capacity/delay attributes."""
+        g = nx.DiGraph(name=self.name)
+        for node in self._nodes.values():
+            g.add_node(node.name, kind=node.kind, **node.metadata)
+        for spec in self._links.values():
+            g.add_edge(
+                spec.src,
+                spec.dst,
+                capacity_mbps=spec.capacity_mbps,
+                delay=spec.delay,
+                queue_packets=spec.queue_packets,
+            )
+        return g
+
+    def undirected_graph(self) -> nx.Graph:
+        """Undirected view (used for shortest-path routing and path search)."""
+        return nx.Graph(self.graph())
+
+    # ------------------------------------------------------------------ paths
+    def shortest_path(self, src: str, dst: str, weight: Optional[str] = None) -> List[str]:
+        try:
+            return nx.shortest_path(self.undirected_graph(), src, dst, weight=weight)
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise TopologyError(f"no path from {src!r} to {dst!r}") from exc
+
+    def simple_paths(self, src: str, dst: str, cutoff: Optional[int] = None) -> Iterator[List[str]]:
+        """All simple paths from ``src`` to ``dst`` (optionally length-bounded)."""
+        return nx.all_simple_paths(self.undirected_graph(), src, dst, cutoff=cutoff)
+
+    def k_shortest_paths(self, src: str, dst: str, k: int) -> List[List[str]]:
+        """The ``k`` shortest simple paths by hop count."""
+        generator = nx.shortest_simple_paths(self.undirected_graph(), src, dst)
+        paths: List[List[str]] = []
+        for path in generator:
+            paths.append(path)
+            if len(paths) >= k:
+                break
+        return paths
+
+    def validate_path(self, nodes: Sequence[str]) -> None:
+        """Raise :class:`TopologyError` unless consecutive nodes are linked."""
+        if len(nodes) < 2:
+            raise TopologyError("a path needs at least two nodes")
+        for a, b in zip(nodes, nodes[1:]):
+            if not self.has_link(a, b):
+                raise TopologyError(f"path uses missing link {a!r}->{b!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Topology({self.name!r}, nodes={len(self._nodes)}, "
+            f"links={len(self._links) // 2})"
+        )

@@ -1,0 +1,24 @@
+"""Single-path TCP substrate: congestion control, sender, receiver."""
+
+from .cc import (
+    CongestionControl,
+    CubicCongestionControl,
+    RenoCongestionControl,
+    make_congestion_control,
+)
+from .connection import BulkDataAdapter, TcpConnection
+from .receiver import TcpReceiver
+from .rtt import RttEstimator
+from .sender import TcpSender
+
+__all__ = [
+    "BulkDataAdapter",
+    "CongestionControl",
+    "CubicCongestionControl",
+    "RenoCongestionControl",
+    "RttEstimator",
+    "TcpConnection",
+    "TcpReceiver",
+    "TcpSender",
+    "make_congestion_control",
+]

@@ -1,0 +1,119 @@
+"""Congestion-control interface.
+
+Every algorithm (Reno, CUBIC, LIA, OLIA, BALIA, wVegas) implements this
+interface.  The congestion window is kept in *fractional segments* -- the way
+kernel implementations reason about the AIMD update rules -- and exposed in
+bytes for the sender's windowing arithmetic.
+
+Slow start and the reaction to retransmission timeouts are common to all
+algorithms and implemented here; subclasses customise the congestion-
+avoidance increase (:meth:`_congestion_avoidance`) and the multiplicative
+decrease (:meth:`_loss_decrease`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from ...units import DEFAULT_MSS
+
+#: Initial congestion window in segments (RFC 6928's IW10).
+INITIAL_CWND_SEGMENTS = 10.0
+
+#: Minimum congestion window in segments after any decrease.
+MIN_CWND_SEGMENTS = 2.0
+
+
+class CongestionControl(ABC):
+    """Base class for per-subflow congestion control.
+
+    Parameters
+    ----------
+    mss:
+        Maximum segment size in bytes.
+    initial_cwnd:
+        Initial window in segments.
+    ssthresh:
+        Initial slow-start threshold in segments (infinite by default).
+    """
+
+    name = "base"
+
+    def __init__(
+        self,
+        mss: int = DEFAULT_MSS,
+        initial_cwnd: float = INITIAL_CWND_SEGMENTS,
+        ssthresh: float = float("inf"),
+    ) -> None:
+        self.mss = int(mss)
+        self.cwnd = float(initial_cwnd)
+        self.ssthresh = float(ssthresh)
+        self.srtt: float = 0.01
+        self.losses = 0
+        self.timeouts = 0
+        self.acked_bytes_total = 0
+
+    # ------------------------------------------------------------------ views
+    @property
+    def cwnd_bytes(self) -> float:
+        """Congestion window in bytes."""
+        return self.cwnd * self.mss
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    # ------------------------------------------------------------------ events
+    def on_ack(self, acked_bytes: int, srtt: float, now: float) -> None:
+        """New data was cumulatively acknowledged.
+
+        Parameters
+        ----------
+        acked_bytes:
+            Number of bytes newly acknowledged.
+        srtt:
+            Current smoothed RTT of the subflow (seconds).
+        now:
+            Simulation time.
+        """
+        if acked_bytes <= 0:
+            return
+        self.srtt = srtt
+        self.acked_bytes_total += acked_bytes
+        acked_segments = acked_bytes / self.mss
+        if self.in_slow_start:
+            self.cwnd += acked_segments
+            if self.cwnd > self.ssthresh:
+                self.cwnd = self.ssthresh
+        else:
+            self._congestion_avoidance(acked_segments, srtt, now)
+
+    def on_loss(self, now: float) -> None:
+        """A loss was detected via duplicate ACKs (fast retransmit)."""
+        self.losses += 1
+        self._loss_decrease(now)
+        self.cwnd = max(self.cwnd, MIN_CWND_SEGMENTS)
+        self.ssthresh = max(self.cwnd, MIN_CWND_SEGMENTS)
+
+    def on_timeout(self, now: float) -> None:
+        """The retransmission timer expired."""
+        self.timeouts += 1
+        self.ssthresh = max(self.cwnd / 2.0, MIN_CWND_SEGMENTS)
+        self.cwnd = 1.0
+        self._after_timeout(now)
+
+    # ------------------------------------------------------------------ hooks
+    @abstractmethod
+    def _congestion_avoidance(self, acked_segments: float, srtt: float, now: float) -> None:
+        """Grow ``self.cwnd`` during congestion avoidance."""
+
+    def _loss_decrease(self, now: float) -> None:
+        """Multiplicative decrease; the classic halving by default."""
+        self.cwnd = self.cwnd / 2.0
+
+    def _after_timeout(self, now: float) -> None:
+        """Extra algorithm-specific reaction to a timeout (epoch resets...)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(cwnd={self.cwnd:.2f} seg, ssthresh={self.ssthresh:.2f})"

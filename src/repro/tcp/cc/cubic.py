@@ -1,0 +1,123 @@
+"""CUBIC congestion control (RFC 8312).
+
+CUBIC is the Linux default and the algorithm the paper refers to as "the
+default congestion control": when used by MPTCP it acts on every subflow
+independently (no coupling), which is exactly the behaviour studied in
+Fig. 2(a)/(c).
+
+The implementation follows RFC 8312: cubic window growth around the last
+``w_max``, fast convergence, and the TCP-friendly (Reno-emulation) region.
+"""
+
+from __future__ import annotations
+
+from .base import CongestionControl, MIN_CWND_SEGMENTS
+
+
+class CubicCongestionControl(CongestionControl):
+    """RFC 8312 CUBIC with fast convergence and the TCP-friendly region."""
+
+    name = "cubic"
+
+    #: Cubic scaling constant (segments / s^3).
+    C = 0.4
+    #: Multiplicative decrease factor.
+    BETA = 0.7
+
+    #: HyStart delay threshold: leave slow start once the smoothed RTT exceeds
+    #: the minimum RTT by this factor plus ``HYSTART_DELAY_FLOOR`` seconds.
+    HYSTART_RTT_FACTOR = 1.125
+    HYSTART_DELAY_FLOOR = 0.002
+
+    def __init__(
+        self,
+        *args,
+        fast_convergence: bool = True,
+        tcp_friendliness: bool = True,
+        hystart: bool = True,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self.fast_convergence = fast_convergence
+        self.tcp_friendliness = tcp_friendliness
+        self.hystart = hystart
+        self._w_max: float = 0.0
+        self._k: float = 0.0
+        self._epoch_start: float | None = None
+        self._w_est: float = 0.0
+        self._acks_in_epoch: float = 0.0
+        self._min_rtt: float | None = None
+
+    # ------------------------------------------------------------------
+    def _reset_epoch(self) -> None:
+        self._epoch_start = None
+        self._acks_in_epoch = 0.0
+
+    def _loss_decrease(self, now: float) -> None:
+        if self.fast_convergence and self.cwnd < self._w_max:
+            # The window stopped growing before reaching the previous maximum:
+            # release bandwidth faster for newcomers (RFC 8312 §4.6).
+            self._w_max = self.cwnd * (2.0 - self.BETA) / 2.0
+        else:
+            self._w_max = self.cwnd
+        self.cwnd = max(self.cwnd * self.BETA, MIN_CWND_SEGMENTS)
+        self._reset_epoch()
+
+    def _after_timeout(self, now: float) -> None:
+        self._w_max = max(self.cwnd, self._w_max)
+        self._reset_epoch()
+
+    # ------------------------------------------------------------------
+    def on_ack(self, acked_bytes: int, srtt: float, now: float) -> None:
+        """Track the minimum RTT and apply HyStart's delay-based slow-start exit.
+
+        Linux CUBIC leaves slow start before the first overflow loss when the
+        RTT has risen noticeably above its minimum (HyStart); without it the
+        initial window overshoot fills the bottleneck queue and causes a burst
+        of losses, which is neither realistic nor kind to the measurements.
+        """
+        if acked_bytes > 0 and srtt > 0:
+            if self._min_rtt is None or srtt < self._min_rtt:
+                self._min_rtt = srtt
+            if (
+                self.hystart
+                and self.in_slow_start
+                and self._min_rtt is not None
+                and srtt > self._min_rtt * self.HYSTART_RTT_FACTOR + self.HYSTART_DELAY_FLOOR
+            ):
+                self.ssthresh = max(self.cwnd, MIN_CWND_SEGMENTS)
+        super().on_ack(acked_bytes, srtt, now)
+
+    def _congestion_avoidance(self, acked_segments: float, srtt: float, now: float) -> None:
+        rtt = max(srtt, 1e-4)
+        if self._epoch_start is None:
+            self._epoch_start = now
+            if self.cwnd < self._w_max:
+                self._k = ((self._w_max - self.cwnd) / self.C) ** (1.0 / 3.0)
+            else:
+                self._k = 0.0
+                self._w_max = self.cwnd
+            self._w_est = self.cwnd
+            self._acks_in_epoch = 0.0
+
+        self._acks_in_epoch += acked_segments
+        t = now - self._epoch_start
+        target = self._w_max + self.C * ((t + rtt - self._k) ** 3)
+
+        if target > self.cwnd:
+            # Approach the cubic target: per-ACK increment (target - cwnd)/cwnd,
+            # capped at half a segment per acknowledged segment so a stale
+            # target cannot cause an unbounded burst.
+            increment = min((target - self.cwnd) / self.cwnd, 0.5) * acked_segments
+        else:
+            # In the concave plateau grow very slowly (RFC 8312 §4.4).
+            increment = acked_segments / (100.0 * self.cwnd)
+        self.cwnd += increment
+
+        if self.tcp_friendliness:
+            # Window a Reno flow would have achieved in this epoch (RFC 8312 §4.2).
+            self._w_est = self._w_max * self.BETA + (
+                3.0 * (1.0 - self.BETA) / (1.0 + self.BETA)
+            ) * (t / rtt)
+            if self.cwnd < self._w_est:
+                self.cwnd = self._w_est

@@ -1,0 +1,20 @@
+"""TCP Reno/NewReno congestion avoidance (RFC 5681)."""
+
+from __future__ import annotations
+
+from .base import CongestionControl
+
+
+class RenoCongestionControl(CongestionControl):
+    """Classic AIMD: +1 segment per RTT, halve on loss.
+
+    The congestion-avoidance increase is implemented per ACK as
+    ``acked_segments / cwnd`` which integrates to one segment per RTT.
+    """
+
+    name = "reno"
+
+    def _congestion_avoidance(self, acked_segments: float, srtt: float, now: float) -> None:
+        if self.cwnd <= 0:
+            self.cwnd = 1.0
+        self.cwnd += acked_segments / self.cwnd

@@ -1,0 +1,112 @@
+"""Single-path TCP connection convenience wrapper.
+
+Plain TCP is both the building block under MPTCP and the baseline used when a
+single subflow competes on a bottleneck.  :class:`TcpConnection` wires one
+:class:`~repro.tcp.sender.TcpSender` / :class:`~repro.tcp.receiver.TcpReceiver`
+pair between two hosts and exposes simple throughput statistics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..netsim.network import Network
+from ..units import DEFAULT_MSS, throughput_mbps
+from .cc import make_congestion_control
+from .receiver import TcpReceiver
+from .sender import TcpSender
+
+_flow_ids = itertools.count(1)
+
+
+class BulkDataAdapter:
+    """Data provider for a greedy (iperf-like) single-path TCP source.
+
+    ``total_bytes=None`` means an unbounded transfer; otherwise the provider
+    stops granting data once the transfer size has been handed out.
+    """
+
+    def __init__(self, total_bytes: Optional[int] = None) -> None:
+        self.total_bytes = total_bytes
+        self.offset = 0
+        self.acked_bytes = 0
+        self.last_ack_time = 0.0
+
+    def request_data(self, sender: TcpSender, max_bytes: int) -> Optional[Tuple[int, int]]:
+        if self.total_bytes is not None:
+            remaining = self.total_bytes - self.offset
+            if remaining <= 0:
+                return None
+            max_bytes = min(max_bytes, remaining)
+        dsn = self.offset
+        self.offset += max_bytes
+        return dsn, max_bytes
+
+    def on_data_acked(self, sender: TcpSender, dsn: int, length: int, now: float) -> None:
+        self.acked_bytes += length
+        self.last_ack_time = now
+
+
+class TcpConnection:
+    """A single-path TCP connection between two hosts of a built network."""
+
+    def __init__(
+        self,
+        network: Network,
+        src: str,
+        dst: str,
+        *,
+        cc: str = "cubic",
+        tag: Optional[int] = None,
+        mss: int = DEFAULT_MSS,
+        total_bytes: Optional[int] = None,
+        flow_id: Optional[int] = None,
+    ) -> None:
+        if src == dst:
+            raise ConfigurationError("source and destination must differ")
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.flow_id = flow_id if flow_id is not None else next(_flow_ids)
+        self.mss = mss
+        self.data = BulkDataAdapter(total_bytes)
+        self.cc = make_congestion_control(cc, mss=mss)
+
+        src_host = network.host(src)
+        dst_host = network.host(dst)
+        self.sender = TcpSender(
+            src_host,
+            dst,
+            self.flow_id,
+            subflow_id=0,
+            cc=self.cc,
+            data_provider=self.data,
+            tag=tag,
+            mss=mss,
+        )
+        self.receiver = TcpReceiver(dst_host, src, self.flow_id, subflow_id=0, tag=tag)
+        src_host.register_agent(self.flow_id, 0, self.sender)
+        dst_host.register_agent(self.flow_id, 0, self.receiver)
+        self._start_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def start(self, at: float = 0.0) -> None:
+        """Schedule the transfer to begin at absolute time ``at``."""
+        self._start_time = at
+        self.network.sim.schedule_at(at, self.sender.start)
+
+    @property
+    def bytes_acked(self) -> int:
+        return self.data.acked_bytes
+
+    def throughput_mbps(self, duration: Optional[float] = None) -> float:
+        """Mean goodput in Mbps over ``duration`` (defaults to elapsed time)."""
+        start = self._start_time or 0.0
+        if duration is None:
+            duration = max(self.network.sim.now - start, 1e-9)
+        return throughput_mbps(self.bytes_acked, duration)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TcpConnection({self.src}->{self.dst}, cc={self.cc.name}, flow={self.flow_id})"

@@ -1,0 +1,434 @@
+"""Packet-level TCP sender.
+
+One :class:`TcpSender` drives one subflow (or a plain single-path TCP
+connection): it keeps the send window, reacts to cumulative, duplicate and
+selective acknowledgements, performs SACK-based fast retransmit / fast
+recovery (a simplified RFC 6675 pipe algorithm, which is what the Linux
+stack the paper measured uses) and falls back to a retransmission timeout,
+delegating all window sizing to a pluggable
+:class:`~repro.tcp.cc.base.CongestionControl` object.
+
+Data to transmit is pulled from a *data provider* -- an object exposing
+``request_data(sender, max_bytes) -> Optional[tuple[dsn, length]]`` -- which
+is how the MPTCP connection (or a bulk traffic source) hands byte ranges with
+their connection-level data sequence numbers to the subflow.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Protocol, Tuple
+
+from ..errors import ProtocolError
+from ..units import DEFAULT_MSS, HEADER_SIZE
+from .cc.base import CongestionControl
+from .rtt import RttEstimator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..netsim.engine import Event, Simulator
+    from ..netsim.node import Host
+    from ..netsim.packet import Packet
+
+
+class DataProvider(Protocol):
+    """Interface the sender uses to obtain data to transmit."""
+
+    def request_data(self, sender: "TcpSender", max_bytes: int) -> Optional[Tuple[int, int]]:
+        """Return ``(dsn, length)`` with ``0 < length <= max_bytes`` or None."""
+
+    def on_data_acked(self, sender: "TcpSender", dsn: int, length: int, now: float) -> None:
+        """Called when a byte range is newly acknowledged at subflow level."""
+
+
+class _SegmentInfo:
+    """Book-keeping for one transmitted segment."""
+
+    __slots__ = (
+        "seq",
+        "length",
+        "dsn",
+        "sent_at",
+        "retransmitted",
+        "sacked",
+        "lost",
+        "lost_pending",
+        "retx_in_recovery",
+    )
+
+    def __init__(self, seq: int, length: int, dsn: int, sent_at: float) -> None:
+        self.seq = seq
+        self.length = length
+        self.dsn = dsn
+        self.sent_at = sent_at
+        self.retransmitted = False
+        self.sacked = False
+        self.lost = False
+        self.lost_pending = False
+        self.retx_in_recovery = False
+
+
+class SenderStats:
+    """Counters exported by a sender."""
+
+    __slots__ = (
+        "segments_sent",
+        "bytes_sent",
+        "bytes_acked",
+        "retransmissions",
+        "fast_retransmits",
+        "timeouts",
+        "dupacks",
+    )
+
+    def __init__(self) -> None:
+        self.segments_sent = 0
+        self.bytes_sent = 0
+        self.bytes_acked = 0
+        self.retransmissions = 0
+        self.fast_retransmits = 0
+        self.timeouts = 0
+        self.dupacks = 0
+
+
+class TcpSender:
+    """The sending half of one TCP subflow.
+
+    Parameters
+    ----------
+    host:
+        The :class:`~repro.netsim.node.Host` this sender runs on.
+    dst:
+        Name of the destination host.
+    flow_id, subflow_id:
+        Demultiplexing identifiers carried in every packet.
+    cc:
+        Congestion-control instance (owned by this sender).
+    data_provider:
+        Source of data ranges (the MPTCP connection or a bulk source adapter).
+    tag:
+        Path tag applied to every packet of this subflow (path pinning).
+    mss:
+        Maximum segment size in payload bytes.
+    """
+
+    DUPACK_THRESHOLD = 3
+
+    def __init__(
+        self,
+        host: "Host",
+        dst: str,
+        flow_id: int,
+        subflow_id: int,
+        cc: CongestionControl,
+        data_provider: DataProvider,
+        *,
+        tag: Optional[int] = None,
+        mss: int = DEFAULT_MSS,
+        rtt_estimator: Optional[RttEstimator] = None,
+    ) -> None:
+        self.host = host
+        self.sim: "Simulator" = host.sim
+        self.dst = dst
+        self.flow_id = flow_id
+        self.subflow_id = subflow_id
+        self.cc = cc
+        self.data_provider = data_provider
+        self.tag = tag
+        self.mss = int(mss)
+        self.rtt = rtt_estimator if rtt_estimator is not None else RttEstimator()
+        self.stats = SenderStats()
+
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self._segments: Dict[int, _SegmentInfo] = {}
+        self._sacked_bytes = 0
+        self._lost_pending_bytes = 0
+        self._dupacks = 0
+        self._in_fast_recovery = False
+        self._recover = 0
+        self._rto_event: Optional["Event"] = None
+        self._rto_backoff = 1.0
+        self._started = False
+
+    # ------------------------------------------------------------------ API
+    def start(self) -> None:
+        """Begin transmitting (register first sends on the event loop)."""
+        if self._started:
+            return
+        self._started = True
+        self._try_send()
+
+    def resume(self) -> None:
+        """Re-attempt transmission after the data provider refused data earlier.
+
+        Called by the MPTCP connection when connection-level send-buffer space
+        frees up; without it an idle subflow (no outstanding data, so no ACKs
+        will arrive) would never ask for data again.
+        """
+        if self._started:
+            self._try_send()
+
+    @property
+    def flight_size(self) -> int:
+        """Bytes sent but not cumulatively acknowledged."""
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def pipe(self) -> int:
+        """Bytes estimated to be in the network (RFC 6675 pipe).
+
+        Flight size minus the bytes the receiver has selectively acknowledged
+        and minus the bytes presumed lost that have not been retransmitted yet.
+        """
+        return max(self.flight_size - self._sacked_bytes - self._lost_pending_bytes, 0)
+
+    @property
+    def effective_window(self) -> float:
+        """Usable window in bytes."""
+        return self.cc.cwnd_bytes
+
+    @property
+    def in_fast_recovery(self) -> bool:
+        return self._in_fast_recovery
+
+    # ------------------------------------------------------------------ send
+    def _try_send(self) -> None:
+        while self.pipe + self.mss <= self.cc.cwnd_bytes:
+            if self._in_fast_recovery and self._retransmit_next_hole():
+                continue
+            grant = self.data_provider.request_data(self, self.mss)
+            if grant is None:
+                break
+            dsn, length = grant
+            if length <= 0 or length > self.mss:
+                raise ProtocolError(f"data provider granted invalid length {length}")
+            self._transmit_segment(self.snd_nxt, length, dsn, is_retransmission=False)
+            self.snd_nxt += length
+
+    def _retransmit_next_hole(self) -> bool:
+        """Retransmit the lowest unSACKed segment of the recovery window.
+
+        Returns True if a segment was retransmitted, False if every candidate
+        has already been retransmitted during this recovery episode.
+        """
+        for seq in sorted(self._segments):
+            if seq >= self._recover:
+                break
+            info = self._segments[seq]
+            if info.sacked or not info.lost or info.retx_in_recovery:
+                continue
+            info.retx_in_recovery = True
+            if info.lost_pending:
+                info.lost_pending = False
+                self._lost_pending_bytes -= info.length
+            self._transmit_segment(info.seq, info.length, info.dsn, is_retransmission=True)
+            return True
+        return False
+
+    def _transmit_segment(self, seq: int, length: int, dsn: int, *, is_retransmission: bool) -> None:
+        from ..netsim.packet import Packet  # local import to avoid cycles
+
+        now = self.sim.now
+        packet = Packet(
+            src=self.host.name,
+            dst=self.dst,
+            size=length + HEADER_SIZE,
+            tag=self.tag,
+            flow_id=self.flow_id,
+            subflow_id=self.subflow_id,
+            protocol="tcp",
+            seq=seq,
+            payload_len=length,
+            dsn=dsn,
+            is_retransmission=is_retransmission,
+            created_at=now,
+        )
+        info = self._segments.get(seq)
+        if info is None:
+            info = _SegmentInfo(seq, length, dsn, now)
+            self._segments[seq] = info
+        else:
+            info.sent_at = now
+        if is_retransmission:
+            info.retransmitted = True
+            self.stats.retransmissions += 1
+        self.stats.segments_sent += 1
+        self.stats.bytes_sent += length
+        self.host.send(packet)
+        self._arm_rto()
+
+    # ------------------------------------------------------------------ ACKs
+    def handle_packet(self, packet: "Packet") -> None:
+        """Entry point for packets delivered to this sender (ACKs)."""
+        if not packet.is_ack:
+            return
+        self._on_ack(packet)
+
+    def _on_ack(self, packet: "Packet") -> None:
+        ack = packet.ack
+        now = self.sim.now
+        if ack > self.snd_nxt:
+            raise ProtocolError(f"ACK {ack} beyond snd_nxt {self.snd_nxt}")
+        # RFC 7323 timestamps: every ACK echoes the send time of the data
+        # segment that triggered it, giving an unbiased RTT sample even for
+        # ACKs of out-of-order or retransmitted data.
+        if packet.ts_echo >= 0:
+            sample = now - packet.ts_echo
+            if sample > 0:
+                self.rtt.update(sample)
+        self._apply_sack(packet.sack_blocks)
+        if ack > self.snd_una:
+            self._on_new_ack(ack, now)
+        elif ack == self.snd_una and self.flight_size > 0:
+            self._on_dupack(now)
+        self._try_send()
+
+    def _apply_sack(self, blocks) -> None:
+        if not blocks:
+            return
+        for start, end in blocks:
+            for seq, info in self._segments.items():
+                if info.sacked:
+                    continue
+                if seq >= start and seq + info.length <= end:
+                    info.sacked = True
+                    self._sacked_bytes += info.length
+                    if info.lost_pending:
+                        info.lost_pending = False
+                        self._lost_pending_bytes -= info.length
+        self._mark_lost_segments(max(end for _, end in blocks))
+
+    def _mark_lost_segments(self, highest_sacked_end: int) -> None:
+        """FACK-style loss inference: unSACKed bytes below the highest SACK block."""
+        for seq, info in self._segments.items():
+            if info.sacked or info.lost:
+                continue
+            if seq + info.length <= highest_sacked_end:
+                info.lost = True
+                info.lost_pending = True
+                self._lost_pending_bytes += info.length
+
+    def _sacked_above_una(self) -> int:
+        return self._sacked_bytes
+
+    def _on_new_ack(self, ack: int, now: float) -> None:
+        newly_acked = ack - self.snd_una
+        self.stats.bytes_acked += newly_acked
+        if self.rtt.samples == 0:
+            # Fallback when the peer does not echo timestamps.
+            self._sample_rtt(ack, now)
+        self._ack_segments(ack, now)
+        self.snd_una = ack
+        self._dupacks = 0
+        self._rto_backoff = 1.0
+
+        if self._in_fast_recovery:
+            if ack >= self._recover:
+                self._exit_fast_recovery()
+            elif self.cc.in_slow_start:
+                # Post-timeout recovery: slow start clocks out the
+                # retransmissions, so the window must grow on partial ACKs.
+                self.cc.on_ack(newly_acked, self.rtt.smoothed(), now)
+            # Otherwise partial ACKs keep the recovery loop going via _try_send().
+        else:
+            self.cc.on_ack(newly_acked, self.rtt.smoothed(), now)
+
+        if self.flight_size == 0:
+            self._cancel_rto()
+        else:
+            self._arm_rto(restart=True)
+
+    def _on_dupack(self, now: float) -> None:
+        self._dupacks += 1
+        self.stats.dupacks += 1
+        if self._in_fast_recovery:
+            return
+        lost_hint = self._dupacks >= self.DUPACK_THRESHOLD
+        sack_hint = self._sacked_above_una() >= self.DUPACK_THRESHOLD * self.mss
+        if lost_hint or sack_hint:
+            self._enter_fast_recovery(now)
+
+    def _enter_fast_recovery(self, now: float) -> None:
+        self._in_fast_recovery = True
+        self._recover = self.snd_nxt
+        self.stats.fast_retransmits += 1
+        self.cc.on_loss(now)
+        # The first unacknowledged segment is by definition the hole that the
+        # duplicate ACKs / SACK blocks point at.
+        front = self._segments.get(self.snd_una)
+        if front is not None and not front.sacked and not front.lost:
+            front.lost = True
+            front.lost_pending = True
+            self._lost_pending_bytes += front.length
+        self._retransmit_next_hole()
+
+    def _exit_fast_recovery(self) -> None:
+        self._in_fast_recovery = False
+        for info in self._segments.values():
+            info.retx_in_recovery = False
+
+    # ------------------------------------------------------------------ RTT & cleanup
+    def _sample_rtt(self, ack: int, now: float) -> None:
+        """Karn's algorithm: only sample RTT from never-retransmitted segments."""
+        best: Optional[_SegmentInfo] = None
+        for seq, info in self._segments.items():
+            if seq + info.length <= ack and not info.retransmitted:
+                if best is None or info.sent_at > best.sent_at:
+                    best = info
+        if best is not None:
+            sample = now - best.sent_at
+            if sample > 0:
+                self.rtt.update(sample)
+
+    def _ack_segments(self, ack: int, now: float) -> None:
+        acked = [seq for seq, info in self._segments.items() if seq + info.length <= ack]
+        for seq in acked:
+            info = self._segments.pop(seq)
+            if info.sacked:
+                self._sacked_bytes -= info.length
+            if info.lost_pending:
+                self._lost_pending_bytes -= info.length
+            self.data_provider.on_data_acked(self, info.dsn, info.length, now)
+
+    # ------------------------------------------------------------------ RTO
+    def _arm_rto(self, restart: bool = False) -> None:
+        if self._rto_event is not None and not restart:
+            return
+        self._cancel_rto()
+        timeout = self.rtt.rto * self._rto_backoff
+        self._rto_event = self.sim.schedule(timeout, self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if self.flight_size == 0:
+            return
+        now = self.sim.now
+        self.stats.timeouts += 1
+        self.cc.on_timeout(now)
+        self._dupacks = 0
+        self._exit_fast_recovery()
+        # All SACK information is considered stale after a timeout (RFC 6675)
+        # and every outstanding segment is presumed lost; the slow-start
+        # window then clocks out the retransmissions hole by hole.
+        self._sacked_bytes = 0
+        self._lost_pending_bytes = 0
+        for info in self._segments.values():
+            info.sacked = False
+            info.lost = True
+            info.lost_pending = True
+            self._lost_pending_bytes += info.length
+        self._in_fast_recovery = True
+        self._recover = self.snd_nxt
+        self._rto_backoff = min(self._rto_backoff * 2.0, 64.0)
+        self._retransmit_next_hole()
+        self._arm_rto(restart=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TcpSender(flow={self.flow_id}, sub={self.subflow_id}, tag={self.tag}, "
+            f"cwnd={self.cc.cwnd:.1f}seg, una={self.snd_una}, nxt={self.snd_nxt})"
+        )

@@ -1,0 +1,13 @@
+"""Traffic generation: iperf-like bulk transfers and UDP cross-traffic."""
+
+from .iperf import IperfClient, IperfReport
+from .onoff import OnOffSource
+from .udp import UdpConstantBitRate, UdpSink
+
+__all__ = [
+    "IperfClient",
+    "IperfReport",
+    "OnOffSource",
+    "UdpConstantBitRate",
+    "UdpSink",
+]

@@ -1,0 +1,155 @@
+"""MPTCP schedulers and path managers."""
+
+import pytest
+
+from repro.core.connection import MptcpConnection
+from repro.core.path_manager import (
+    FullMeshPathManager,
+    NdiffportsPathManager,
+    TagPathManager,
+)
+from repro.core.scheduler import (
+    MinRttScheduler,
+    RedundantScheduler,
+    RoundRobinScheduler,
+    make_scheduler,
+)
+from repro.errors import ConfigurationError
+from repro.model.paths import Path
+from repro.netsim.network import Network
+from repro.topologies.paper import paper_paths, paper_scenario
+
+from .conftest import make_two_path_scenario
+
+
+class TestSchedulerFactory:
+    def test_known_names(self):
+        assert isinstance(make_scheduler("minrtt"), MinRttScheduler)
+        assert isinstance(make_scheduler("default"), MinRttScheduler)
+        assert isinstance(make_scheduler("roundrobin"), RoundRobinScheduler)
+        assert isinstance(make_scheduler("redundant"), RedundantScheduler)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler("blest")
+
+
+def build_connection(scheduler="minrtt", send_buffer_bytes=None, cc="cubic"):
+    topology, paths = make_two_path_scenario()
+    network = Network(topology)
+    connection = MptcpConnection(
+        network,
+        "s",
+        "d",
+        paths,
+        congestion_control=cc,
+        scheduler=scheduler,
+        send_buffer_bytes=send_buffer_bytes,
+    )
+    return network, connection
+
+
+class TestSchedulerAllocation:
+    def test_minrtt_grants_freely_with_unbounded_buffer(self):
+        _, connection = build_connection("minrtt")
+        subflow = connection.subflows[0]
+        grant = connection.scheduler.allocate(connection, subflow, 1400)
+        assert grant == (0, 1400)
+
+    def test_minrtt_prefers_lowest_rtt_when_buffer_scarce(self):
+        _, connection = build_connection("minrtt", send_buffer_bytes=1400)
+        fast, slow = connection.subflows
+        fast.sender.rtt.update(0.005)
+        slow.sender.rtt.update(0.050)
+        # The slow subflow asks first but must be refused; the fast one is served.
+        assert connection.scheduler.allocate(connection, slow, 1400) is None
+        assert connection.scheduler.allocate(connection, fast, 1400) is not None
+
+    def test_roundrobin_rotates_when_buffer_scarce(self):
+        _, connection = build_connection("roundrobin", send_buffer_bytes=1400)
+        first, second = connection.subflows
+        grant = connection.scheduler.allocate(connection, first, 700)
+        assert grant is not None
+        connection.allocator.on_acked(700)
+        # After the first grant the pointer moved to the second subflow.
+        assert connection.scheduler.allocate(connection, first, 700) is None
+        assert connection.scheduler.allocate(connection, second, 700) is not None
+
+    def test_redundant_duplicates_the_stream(self):
+        _, connection = build_connection("redundant")
+        a, b = connection.subflows
+        scheduler = connection.scheduler
+        first = scheduler.allocate(connection, a, 1400)
+        duplicate = scheduler.allocate(connection, b, 1400)
+        assert first == (0, 1400)
+        assert duplicate == (0, 1400)
+        # The next request on subflow a continues past the duplicated range.
+        assert scheduler.allocate(connection, a, 1400) == (1400, 1400)
+
+
+class TestTagPathManager:
+    def test_builds_one_subflow_per_path(self, paper_network):
+        network, paths = paper_network
+        manager = TagPathManager(paths, default_index=1)
+        subflows = manager.build_subflows(network, "s", "d")
+        assert len(subflows) == 3
+        assert {sf.tag for sf in subflows} == {1, 2, 3}
+
+    def test_default_subflow_listed_first(self, paper_network):
+        network, paths = paper_network
+        manager = TagPathManager(paths, default_index=1)
+        subflows = manager.build_subflows(network, "s", "d")
+        assert subflows[0].is_default
+        assert subflows[0].path.name == "Path 2"
+
+    def test_routes_installed_for_each_tag(self, paper_network):
+        network, paths = paper_network
+        TagPathManager(paths, default_index=0).build_subflows(network, "s", "d")
+        for path in paths:
+            installed = network.routing.installed_path("s", "d", path.tag)
+            assert installed == list(path.nodes)
+
+    def test_rejects_paths_with_wrong_endpoints(self, paper_network):
+        network, _ = paper_network
+        bad = [Path(["v1", "v4", "d"], tag=1)]
+        with pytest.raises(ConfigurationError):
+            TagPathManager(bad).build_subflows(network, "s", "d")
+
+    def test_rejects_empty_path_list(self):
+        with pytest.raises(ConfigurationError):
+            TagPathManager([])
+
+    def test_rejects_bad_default_index(self):
+        with pytest.raises(ConfigurationError):
+            TagPathManager(paper_paths(), default_index=5)
+
+
+class TestNdiffportsPathManager:
+    def test_all_subflows_share_the_default_route(self, paper_network):
+        network, _ = paper_network
+        manager = NdiffportsPathManager(subflow_count=3)
+        subflows = manager.build_subflows(network, "s", "d")
+        assert len(subflows) == 3
+        assert len({sf.path.nodes for sf in subflows}) == 1
+
+    def test_subflow_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            NdiffportsPathManager(subflow_count=0)
+
+
+class TestFullMeshPathManager:
+    def test_discovers_distinct_paths(self, paper_network):
+        network, _ = paper_network
+        manager = FullMeshPathManager(max_subflows=3)
+        subflows = manager.build_subflows(network, "s", "d")
+        assert len(subflows) == 3
+        assert len({sf.path.nodes for sf in subflows}) == 3
+
+    def test_respects_max_subflows(self, paper_network):
+        network, _ = paper_network
+        subflows = FullMeshPathManager(max_subflows=2).build_subflows(network, "s", "d")
+        assert len(subflows) == 2
+
+    def test_max_subflows_validated(self):
+        with pytest.raises(ConfigurationError):
+            FullMeshPathManager(max_subflows=0)

@@ -1,0 +1,171 @@
+"""Experiment harness, figure regeneration and the CLI (short runs)."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments.ascii_plot import ascii_chart, plot_figure
+from repro.experiments.figures import fig2c_fine, figure_with_algorithm
+from repro.experiments.harness import ExperimentConfig, paper_experiment, run_experiment
+from repro.experiments.scenarios import (
+    scheduler_comparison,
+    summarize_results,
+    variant_comparison,
+)
+from repro.measure.sampling import TimeSeries
+from repro.topologies.paper import PAPER_DEFAULT_PATH_INDEX
+
+from .conftest import make_two_path_scenario
+
+
+class TestExperimentConfig:
+    def test_defaults_match_paper_setup(self):
+        config = ExperimentConfig()
+        assert config.default_path_index == PAPER_DEFAULT_PATH_INDEX
+        assert config.sampling_interval == 0.1
+        assert config.duration == 4.0
+
+    def test_with_overrides_returns_copy(self):
+        config = ExperimentConfig()
+        changed = config.with_overrides(duration=1.0, congestion_control="olia")
+        assert changed.duration == 1.0
+        assert config.duration == 4.0
+        assert changed.congestion_control == "olia"
+
+    def test_build_scenario_default_is_paper(self):
+        topology, paths = ExperimentConfig().build_scenario()
+        assert topology.name.startswith("paper")
+        assert len(paths) == 3
+
+    def test_build_scenario_accepts_callable_and_tuple(self):
+        scenario = make_two_path_scenario()
+        by_tuple = ExperimentConfig(scenario=scenario).build_scenario()
+        by_callable = ExperimentConfig(scenario=make_two_path_scenario).build_scenario()
+        assert len(by_tuple[1]) == len(by_callable[1]) == 2
+
+    def test_paper_experiment_helper(self):
+        config = paper_experiment("olia", duration=2.0)
+        assert config.congestion_control == "olia"
+        assert config.name == "paper-olia"
+
+
+class TestRunExperiment:
+    @pytest.fixture(scope="class")
+    def short_result(self):
+        return run_experiment(paper_experiment("cubic", duration=0.6))
+
+    def test_optimum_is_90(self, short_result):
+        assert short_result.optimum.total == pytest.approx(90.0)
+
+    def test_per_path_series_keyed_by_tag(self, short_result):
+        assert set(short_result.per_path_series) == {1, 2, 3}
+        for series in short_result.per_path_series.values():
+            assert len(series) == 6
+
+    def test_total_series_is_sum_of_paths(self, short_result):
+        for index in range(len(short_result.total_series)):
+            summed = sum(s.values[index] for s in short_result.per_path_series.values())
+            assert short_result.total_series.values[index] == pytest.approx(summed, rel=1e-6)
+
+    def test_summary_fields(self, short_result):
+        summary = short_result.summary()
+        assert summary["congestion_control"] == "cubic"
+        assert summary["optimum_mbps"] == 90.0
+        assert summary["achieved_mean_mbps"] > 0
+        assert "reached_optimum" in summary
+
+    def test_stats_cover_all_subflows(self, short_result):
+        assert len(short_result.stats.subflows) == 3
+
+    def test_non_paper_scenario(self):
+        config = ExperimentConfig(
+            name="two-path", scenario=make_two_path_scenario, duration=0.5
+        )
+        result = run_experiment(config)
+        assert result.optimum.total == pytest.approx(90.0)  # 30 + 60
+        assert set(result.per_path_series) == {1, 2}
+
+
+class TestFigures:
+    def test_fig2c_uses_fine_sampling(self):
+        data = fig2c_fine(duration=0.3)
+        assert data.figure_id == "fig2c"
+        for series in data.per_path_series.values():
+            assert series.interval == pytest.approx(0.01)
+        assert data.optimum_mbps == pytest.approx(90.0)
+
+    def test_figure_with_algorithm_summary(self):
+        data = figure_with_algorithm("lia", duration=0.4)
+        summary = data.summary()
+        assert summary["figure"] == "fig2-lia"
+        assert summary["congestion_control"] == "lia"
+
+
+class TestScenarios:
+    def test_scheduler_comparison_keys(self):
+        results = scheduler_comparison(("minrtt", "redundant"), duration=0.4)
+        assert set(results) == {"minrtt", "redundant"}
+
+    def test_variant_comparison_both_labelings(self):
+        results = variant_comparison(congestion_control="cubic", duration=0.4)
+        assert set(results) == {"as_stated", "as_solution"}
+        for result in results.values():
+            assert result.optimum.total == pytest.approx(90.0)
+
+    def test_summarize_results(self):
+        results = scheduler_comparison(("minrtt",), duration=0.3)
+        rows = summarize_results(results)
+        assert rows[0]["key"] == "minrtt"
+        assert "achieved_mean_mbps" in rows[0]
+
+
+class TestAsciiPlot:
+    def test_chart_contains_markers_and_legend(self):
+        series = [
+            TimeSeries(times=[0.1, 0.2, 0.3], values=[10, 20, 30], label="Path 1", interval=0.1),
+            TimeSeries(times=[0.1, 0.2, 0.3], values=[30, 20, 10], label="Path 2", interval=0.1),
+        ]
+        chart = ascii_chart(series, width=40, height=10, title="demo")
+        assert "demo" in chart
+        assert "1=Path 1" in chart
+        assert "2=Path 2" in chart
+
+    def test_empty_chart(self):
+        assert ascii_chart([]) == "(no data)"
+
+    def test_plot_figure_includes_total(self):
+        per_path = {1: TimeSeries(times=[0.1], values=[10], interval=0.1)}
+        total = TimeSeries(times=[0.1], values=[10], interval=0.1)
+        chart = plot_figure(per_path, total)
+        assert "Total" in chart
+
+
+class TestCli:
+    def test_lp_command_table(self, capsys):
+        assert cli_main(["lp"]) == 0
+        out = capsys.readouterr().out
+        assert "x1 + x2 <= 40" in out
+        assert "LP optimum" in out
+        assert "90.0" in out
+
+    def test_lp_command_json(self, capsys):
+        assert cli_main(["lp", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["optimum"]["total"] == pytest.approx(90.0)
+        assert data["greedy_from_default"]["total"] < 90.0
+
+    def test_figure_command(self, capsys):
+        assert cli_main(["figure", "2c"]) == 0
+        out = capsys.readouterr().out
+        assert "time [s]" in out
+        assert '"figure": "fig2c"' in out
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["nonsense"])

@@ -1,0 +1,103 @@
+"""Convergence metrics, flow statistics and report formatting."""
+
+import pytest
+
+from repro.measure.convergence import (
+    analyze_convergence,
+    stability_coefficient,
+    sustained_time_to_fraction,
+    time_to_fraction,
+)
+from repro.measure.report import comparison_row, format_comparison, format_table
+from repro.measure.sampling import TimeSeries
+
+
+def ramp_series(values, interval=0.1):
+    return TimeSeries(
+        times=[interval * (i + 1) for i in range(len(values))],
+        values=list(values),
+        interval=interval,
+    )
+
+
+class TestTimeToFraction:
+    def test_simple_threshold_crossing(self):
+        series = ramp_series([10, 40, 70, 88, 89, 90])
+        assert time_to_fraction(series, optimum=90, fraction=0.95) == pytest.approx(0.4)
+
+    def test_never_reaching_returns_none(self):
+        series = ramp_series([10, 20, 30])
+        assert time_to_fraction(series, optimum=90) is None
+
+    def test_zero_optimum_returns_none(self):
+        assert time_to_fraction(ramp_series([1, 2]), optimum=0) is None
+
+    def test_sustained_requires_hold(self):
+        # A single spike above the threshold must not count as convergence.
+        series = ramp_series([10, 90, 10, 10, 88, 89, 90, 90])
+        spike_time = time_to_fraction(series, 90, 0.95)
+        sustained = sustained_time_to_fraction(series, 90, 0.95, hold=3)
+        assert spike_time == pytest.approx(0.2)
+        assert sustained == pytest.approx(0.7)
+
+    def test_sustained_none_when_never_held(self):
+        series = ramp_series([90, 10, 90, 10, 90, 10])
+        assert sustained_time_to_fraction(series, 90, 0.95, hold=3) is None
+
+
+class TestStability:
+    def test_constant_tail_has_zero_cv(self):
+        series = ramp_series([10, 50, 90, 90, 90, 90])
+        assert stability_coefficient(series, tail_fraction=0.5) == pytest.approx(0.0)
+
+    def test_oscillating_tail_has_positive_cv(self):
+        series = ramp_series([90, 90, 90, 60, 90, 60])
+        assert stability_coefficient(series, tail_fraction=0.5) > 0.1
+
+    def test_empty_series(self):
+        assert stability_coefficient(TimeSeries()) == 0.0
+
+
+class TestAnalyzeConvergence:
+    def test_converged_run(self):
+        series = ramp_series([20, 60, 86, 88, 90, 89, 90, 90])
+        report = analyze_convergence(series, optimum=90.0, fraction=0.95)
+        assert report.reached_optimum
+        assert report.time_to_optimum is not None
+        assert report.utilization_of_optimum > 0.95
+        assert report.achieved_peak == 90.0
+
+    def test_non_converged_run(self):
+        series = ramp_series([20, 40, 60, 62, 61, 60])
+        report = analyze_convergence(series, optimum=90.0)
+        assert not report.reached_optimum
+        assert report.time_to_optimum is None
+        assert report.utilization_of_optimum < 0.8
+
+    def test_as_dict_round_trips(self):
+        series = ramp_series([50, 90, 90, 90])
+        data = analyze_convergence(series, optimum=90.0).as_dict()
+        assert data["reached_optimum"] is True
+        assert data["optimum_mbps"] == 90.0
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["cubic", 90.0], ["lia", 82.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "cubic" in lines[2]
+        assert "82.25" in lines[3] or "82.2" in lines[3]
+
+    def test_format_table_handles_none(self):
+        text = format_table(["a"], [[None]])
+        assert "-" in text
+
+    def test_comparison_rows(self):
+        rows = [
+            comparison_row("FIG1-LP", "optimal total (Mbps)", 90, 90.0),
+            comparison_row("RES-CC", "LIA reaches optimum", "no", "no", note="matches"),
+        ]
+        text = format_comparison(rows)
+        assert "FIG1-LP" in text
+        assert "matches" in text

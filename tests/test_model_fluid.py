@@ -1,0 +1,66 @@
+"""Fluid models of uncoupled / LIA / OLIA congestion control."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.bottleneck import build_constraints
+from repro.model.fluid import FluidModel, compare_equilibria
+from repro.topologies.generators import disjoint_paths
+from repro.topologies.paper import build_paper_topology, paper_paths
+
+
+@pytest.fixture
+def paper_system():
+    return build_constraints(build_paper_topology(), paper_paths(), include_private_links=False)
+
+
+class TestFluidModel:
+    def test_rates_stay_feasible_up_to_transients(self, paper_system):
+        model = FluidModel(paper_system)
+        result = model.run("uncoupled", duration=10.0)
+        # The loss signal only kicks in above capacity, so allow a small excursion.
+        for rates in result.rates_mbps[-20:]:
+            assert sum(rates) <= 95.0
+
+    def test_uncoupled_approaches_high_utilization(self, paper_system):
+        result = FluidModel(paper_system).run("uncoupled", duration=20.0)
+        assert result.mean_total() > 70.0
+
+    def test_olia_equilibrium_closest_to_optimum(self, paper_system):
+        # OLIA was designed to be Pareto-optimal in the fluid limit; its
+        # equilibrium should dominate plain per-path AIMD on this topology.
+        results = compare_equilibria(paper_system, ("uncoupled", "olia"), duration=20.0)
+        assert results["olia"].mean_total() >= results["uncoupled"].mean_total() - 1.0
+        assert results["olia"].mean_total() <= 91.0
+
+    def test_olia_runs_and_produces_positive_rates(self, paper_system):
+        result = FluidModel(paper_system).run("olia", duration=10.0)
+        assert all(rate >= 0 for rate in result.final_rates)
+        assert result.final_total > 10.0
+
+    def test_disjoint_paths_fill_their_capacity(self):
+        topology, paths = disjoint_paths((30.0, 50.0))
+        system = build_constraints(topology, paths)
+        result = FluidModel(system).run("uncoupled", duration=20.0)
+        assert result.mean_total() > 0.75 * 80.0
+
+    def test_unknown_algorithm_rejected(self, paper_system):
+        with pytest.raises(ModelError):
+            FluidModel(paper_system).run("bbr")
+
+    def test_rtt_length_validated(self, paper_system):
+        with pytest.raises(ModelError):
+            FluidModel(paper_system, rtts=[0.01])
+
+    def test_trajectory_is_recorded(self, paper_system):
+        result = FluidModel(paper_system).run("lia", duration=5.0)
+        assert len(result.times) == len(result.rates_mbps)
+        assert len(result.times) > 10
+
+    def test_mean_rates_shape(self, paper_system):
+        result = FluidModel(paper_system).run("lia", duration=5.0)
+        assert len(result.mean_rates()) == 3
+
+    def test_compare_equilibria_keys(self, paper_system):
+        results = compare_equilibria(paper_system, ("uncoupled", "lia", "olia"), duration=5.0)
+        assert set(results) == {"uncoupled", "lia", "olia"}

@@ -1,0 +1,107 @@
+"""Packet capture (the tshark substitute): filtering and accounting."""
+
+import pytest
+
+from repro.netsim.capture import PacketCapture
+from repro.netsim.packet import Packet
+
+
+def data_packet(tag, subflow_id=0, size=1460, payload=1400, time=0.0, dsn=0, retx=False):
+    return Packet(
+        "s",
+        "d",
+        size,
+        tag=tag,
+        flow_id=1,
+        subflow_id=subflow_id,
+        payload_len=payload,
+        dsn=dsn,
+        is_retransmission=retx,
+    ), time
+
+
+def ack_packet(tag, time=0.0):
+    return Packet("d", "s", 60, tag=tag, flow_id=1, is_ack=True), time
+
+
+@pytest.fixture
+def capture():
+    cap = PacketCapture()
+    for i in range(5):
+        packet, t = data_packet(tag=1, subflow_id=0, time=0.1 * i)
+        cap.on_packet(packet, t)
+    for i in range(3):
+        packet, t = data_packet(tag=2, subflow_id=1, time=0.1 * i)
+        cap.on_packet(packet, t)
+    packet, t = ack_packet(tag=1, time=0.25)
+    cap.on_packet(packet, t)
+    return cap
+
+
+class TestCaptureFiltering:
+    def test_total_record_count(self, capture):
+        assert len(capture) == 9
+
+    def test_filter_by_tag(self, capture):
+        assert len(capture.filter(tag=1)) == 5
+        assert len(capture.filter(tag=2)) == 3
+
+    def test_filter_excludes_acks_by_default(self, capture):
+        assert all(not r.is_ack for r in capture.filter(tag=1))
+
+    def test_filter_can_include_acks(self, capture):
+        assert len(capture.filter(tag=1, data_only=False)) == 6
+
+    def test_filter_by_subflow(self, capture):
+        assert len(capture.filter(subflow_id=1)) == 3
+
+    def test_filter_by_flow(self, capture):
+        assert len(capture.filter(flow_id=1)) == 8
+        assert capture.filter(flow_id=2) == []
+
+    def test_filter_with_predicate(self, capture):
+        late = capture.filter(predicate=lambda r: r.time > 0.15)
+        assert all(r.time > 0.15 for r in late)
+
+    def test_tags_listing(self, capture):
+        assert capture.tags() == [1, 2]
+
+    def test_subflow_ids_listing(self, capture):
+        assert capture.subflow_ids() == [0, 1]
+
+
+class TestCaptureAccounting:
+    def test_bytes_captured_data_only(self, capture):
+        assert capture.bytes_captured() == 8 * 1460
+
+    def test_bytes_captured_with_acks(self, capture):
+        assert capture.bytes_captured(data_only=False) == 8 * 1460 + 60
+
+    def test_payload_bytes(self, capture):
+        assert capture.payload_bytes(capture.filter(tag=2)) == 3 * 1400
+
+    def test_first_and_last_time(self, capture):
+        assert capture.first_time() == pytest.approx(0.0)
+        assert capture.last_time() == pytest.approx(0.25)
+
+    def test_clear(self, capture):
+        capture.clear()
+        assert len(capture) == 0
+        assert capture.first_time() == 0.0
+
+
+class TestDataOnlyCapture:
+    def test_data_only_capture_ignores_acks(self):
+        cap = PacketCapture(data_only=True)
+        packet, t = data_packet(tag=1)
+        cap.on_packet(packet, t)
+        ack, t = ack_packet(tag=1)
+        cap.on_packet(ack, t)
+        assert len(cap) == 1
+        assert not cap.records[0].is_ack
+
+    def test_retransmission_flag_preserved(self):
+        cap = PacketCapture()
+        packet, t = data_packet(tag=1, retx=True)
+        cap.on_packet(packet, t)
+        assert cap.records[0].is_retransmission

@@ -1,0 +1,131 @@
+"""Discrete-event engine: ordering, cancellation, run bounds."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self, sim):
+        order = []
+        sim.schedule(2.0, order.append, "late")
+        sim.schedule(1.0, order.append, "early")
+        sim.schedule(3.0, order.append, "latest")
+        sim.run()
+        assert order == ["early", "late", "latest"]
+
+    def test_ties_run_in_fifo_order(self, sim):
+        order = []
+        for label in ("a", "b", "c"):
+            sim.schedule(1.0, order.append, label)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(0.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [pytest.approx(0.5)]
+
+    def test_schedule_at_absolute_time(self, sim):
+        seen = []
+        sim.schedule_at(1.25, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [pytest.approx(1.25)]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_in_the_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_events_can_schedule_more_events(self, sim):
+        seen = []
+
+        def chain(depth):
+            seen.append(sim.now)
+            if depth > 0:
+                sim.schedule(1.0, chain, depth - 1)
+
+        sim.schedule(1.0, chain, 2)
+        sim.run()
+        assert seen == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self, sim):
+        seen = []
+        event = sim.schedule(1.0, seen.append, "x")
+        sim.cancel(event)
+        sim.run()
+        assert seen == []
+
+    def test_cancel_none_is_noop(self, sim):
+        sim.cancel(None)
+        assert sim.run() == 0.0
+
+    def test_cancel_after_run_is_harmless(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        event.cancel()
+        assert event.cancelled
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, sim):
+        seen = []
+        sim.schedule(1.0, seen.append, "in")
+        sim.schedule(5.0, seen.append, "out")
+        sim.run(until=2.0)
+        assert seen == ["in"]
+        assert sim.now == pytest.approx(2.0)
+        assert sim.pending_events == 1
+
+    def test_run_until_advances_clock_even_without_events(self, sim):
+        sim.run(until=3.0)
+        assert sim.now == pytest.approx(3.0)
+
+    def test_continue_running_after_until(self, sim):
+        seen = []
+        sim.schedule(5.0, seen.append, "late")
+        sim.run(until=2.0)
+        sim.run()
+        assert seen == ["late"]
+
+    def test_stop_halts_the_loop(self, sim):
+        seen = []
+        sim.schedule(1.0, seen.append, "first")
+        sim.schedule(1.5, sim.stop)
+        sim.schedule(2.0, seen.append, "second")
+        sim.run()
+        assert seen == ["first"]
+
+    def test_max_events_limits_processing(self, sim):
+        seen = []
+        for i in range(10):
+            sim.schedule(i + 1.0, seen.append, i)
+        sim.run(max_events=4)
+        assert len(seen) == 4
+
+    def test_events_processed_counter(self, sim):
+        for i in range(5):
+            sim.schedule(i * 0.1, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_run_is_not_reentrant(self, sim):
+        def recurse():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(0.1, recurse)
+        sim.run()
+
+    def test_run_returns_current_time(self, sim):
+        sim.schedule(0.7, lambda: None)
+        assert sim.run() == pytest.approx(0.7)

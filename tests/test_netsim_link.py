@@ -1,0 +1,133 @@
+"""Link model: serialisation delay, propagation, queueing and drops."""
+
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
+from repro.netsim.queues import DropTailQueue
+from repro.units import mbps, transmission_time
+
+
+class RecordingNode:
+    """Minimal node double that records deliveries."""
+
+    def __init__(self, name, sim):
+        self.name = name
+        self.sim = sim
+        self.received = []
+
+    def receive(self, packet, link=None):
+        self.received.append((self.sim.now, packet))
+
+
+@pytest.fixture
+def link_setup():
+    sim = Simulator()
+    src = RecordingNode("a", sim)
+    dst = RecordingNode("b", sim)
+    link = Link(sim, src, dst, rate_bps=mbps(10), delay=0.005, queue=DropTailQueue(4))
+    return sim, src, dst, link
+
+
+class TestLinkDelivery:
+    def test_delivery_time_is_serialisation_plus_propagation(self, link_setup):
+        sim, _, dst, link = link_setup
+        packet = Packet("a", "b", 1500)
+        link.send(packet)
+        sim.run()
+        expected = transmission_time(1500, mbps(10)) + 0.005
+        assert dst.received[0][0] == pytest.approx(expected)
+
+    def test_hop_count_incremented(self, link_setup):
+        sim, _, dst, link = link_setup
+        packet = Packet("a", "b", 1500)
+        link.send(packet)
+        sim.run()
+        assert dst.received[0][1].hops == 1
+
+    def test_back_to_back_packets_are_serialised(self, link_setup):
+        sim, _, dst, link = link_setup
+        link.send(Packet("a", "b", 1500))
+        link.send(Packet("a", "b", 1500))
+        sim.run()
+        tx = transmission_time(1500, mbps(10))
+        assert dst.received[0][0] == pytest.approx(tx + 0.005)
+        assert dst.received[1][0] == pytest.approx(2 * tx + 0.005)
+
+    def test_all_queued_packets_eventually_delivered(self, link_setup):
+        sim, _, dst, link = link_setup
+        for _ in range(5):  # 1 transmitting + 4 queued = capacity
+            link.send(Packet("a", "b", 1500))
+        sim.run()
+        assert len(dst.received) == 5
+
+    def test_zero_delay_link(self):
+        sim = Simulator()
+        src, dst = RecordingNode("a", sim), RecordingNode("b", sim)
+        link = Link(sim, src, dst, rate_bps=mbps(10), delay=0.0)
+        link.send(Packet("a", "b", 1000))
+        sim.run()
+        assert dst.received[0][0] == pytest.approx(transmission_time(1000, mbps(10)))
+
+
+class TestLinkDrops:
+    def test_drops_once_queue_full(self, link_setup):
+        sim, _, dst, link = link_setup
+        # 1 in service + 4 queued fit; the rest are dropped.
+        results = [link.send(Packet("a", "b", 1500)) for _ in range(8)]
+        assert results.count(False) == 3
+        assert link.drops == 3
+        sim.run()
+        assert len(dst.received) == 5
+
+    def test_stats_track_sent_bytes(self, link_setup):
+        sim, _, _, link = link_setup
+        link.send(Packet("a", "b", 1500))
+        link.send(Packet("a", "b", 500))
+        sim.run()
+        assert link.stats.packets_sent == 2
+        assert link.stats.bytes_sent == 2000
+
+
+class TestLinkUtilization:
+    def test_utilization_of_saturated_link(self):
+        sim = Simulator()
+        src, dst = RecordingNode("a", sim), RecordingNode("b", sim)
+        link = Link(sim, src, dst, rate_bps=mbps(10), delay=0.0, queue=DropTailQueue(1000))
+        # Offer exactly 1 second worth of traffic.
+        packet_count = int(mbps(10) / (1500 * 8))
+        for _ in range(packet_count):
+            link.send(Packet("a", "b", 1500))
+        sim.run()
+        assert link.stats.utilization(link.rate_bps, 1.0) == pytest.approx(
+            packet_count * 1500 * 8 / mbps(10), rel=1e-6
+        )
+
+    def test_utilization_clamped_to_one(self, link_setup):
+        _, _, _, link = link_setup
+        link.stats.busy_time = 10.0
+        assert link.stats.utilization(link.rate_bps, 1.0) == 1.0
+
+    def test_zero_duration_utilization(self, link_setup):
+        _, _, _, link = link_setup
+        assert link.stats.utilization(link.rate_bps, 0.0) == 0.0
+
+
+class TestLinkValidation:
+    def test_rate_must_be_positive(self):
+        sim = Simulator()
+        a, b = RecordingNode("a", sim), RecordingNode("b", sim)
+        with pytest.raises(ValueError):
+            Link(sim, a, b, rate_bps=0, delay=0.001)
+
+    def test_delay_cannot_be_negative(self):
+        sim = Simulator()
+        a, b = RecordingNode("a", sim), RecordingNode("b", sim)
+        with pytest.raises(ValueError):
+            Link(sim, a, b, rate_bps=mbps(1), delay=-0.001)
+
+    def test_default_name(self):
+        sim = Simulator()
+        a, b = RecordingNode("a", sim), RecordingNode("b", sim)
+        assert Link(sim, a, b, rate_bps=mbps(1), delay=0.0).name == "a->b"

@@ -1,0 +1,116 @@
+"""Drop-tail and RED queue behaviour."""
+
+import pytest
+
+from repro.netsim.packet import Packet
+from repro.netsim.queues import DropTailQueue, REDQueue, make_queue
+
+
+def make_packet(size=1500):
+    return Packet("s", "d", size)
+
+
+class TestDropTailQueue:
+    def test_fifo_order(self):
+        queue = DropTailQueue(capacity_packets=10)
+        first, second = make_packet(), make_packet()
+        queue.enqueue(first, 0.0)
+        queue.enqueue(second, 0.0)
+        assert queue.dequeue() is first
+        assert queue.dequeue() is second
+
+    def test_dequeue_empty_returns_none(self):
+        assert DropTailQueue().dequeue() is None
+
+    def test_drops_when_full(self):
+        queue = DropTailQueue(capacity_packets=2)
+        assert queue.enqueue(make_packet(), 0.0)
+        assert queue.enqueue(make_packet(), 0.0)
+        assert not queue.enqueue(make_packet(), 0.0)
+        assert queue.stats.dropped == 1
+        assert len(queue) == 2
+
+    def test_byte_count_tracks_contents(self):
+        queue = DropTailQueue(capacity_packets=10)
+        queue.enqueue(make_packet(1000), 0.0)
+        queue.enqueue(make_packet(500), 0.0)
+        assert queue.byte_count == 1500
+        queue.dequeue()
+        assert queue.byte_count == 500
+
+    def test_stats_counters(self):
+        queue = DropTailQueue(capacity_packets=1)
+        queue.enqueue(make_packet(100), 0.0)
+        queue.enqueue(make_packet(200), 0.0)  # dropped
+        queue.dequeue()
+        stats = queue.stats.as_dict()
+        assert stats["enqueued"] == 1
+        assert stats["dropped"] == 1
+        assert stats["dequeued"] == 1
+        assert stats["bytes_dropped"] == 200
+        assert stats["max_depth"] == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(capacity_packets=0)
+
+    def test_enqueued_timestamp_recorded(self):
+        queue = DropTailQueue()
+        packet = make_packet()
+        queue.enqueue(packet, 1.25)
+        assert packet.enqueued_at == 1.25
+
+    def test_is_empty(self):
+        queue = DropTailQueue()
+        assert queue.is_empty
+        queue.enqueue(make_packet(), 0.0)
+        assert not queue.is_empty
+
+
+class TestRedQueue:
+    def test_accepts_everything_when_lightly_loaded(self):
+        queue = REDQueue(capacity_packets=100, seed=1)
+        accepted = sum(queue.enqueue(make_packet(), 0.0) for _ in range(10))
+        assert accepted == 10
+
+    def test_never_exceeds_hard_capacity(self):
+        queue = REDQueue(capacity_packets=20, seed=1)
+        for _ in range(200):
+            queue.enqueue(make_packet(), 0.0)
+        assert len(queue) <= 20
+
+    def test_drops_probabilistically_under_sustained_load(self):
+        queue = REDQueue(capacity_packets=50, min_threshold=5, max_threshold=15, seed=3)
+        # Keep the queue long so the average crosses the thresholds.
+        for _ in range(500):
+            queue.enqueue(make_packet(), 0.0)
+        assert queue.stats.dropped > 0
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            queue = REDQueue(capacity_packets=30, min_threshold=2, max_threshold=10, seed=seed)
+            return [queue.enqueue(make_packet(), 0.0) for _ in range(300)]
+
+        assert run(7) == run(7)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            REDQueue(capacity_packets=10, min_threshold=8, max_threshold=4)
+
+
+class TestQueueFactory:
+    def test_droptail_by_name(self):
+        assert isinstance(make_queue("droptail", 10), DropTailQueue)
+
+    def test_fifo_alias(self):
+        assert isinstance(make_queue("fifo", 10), DropTailQueue)
+
+    def test_red_by_name(self):
+        assert isinstance(make_queue("red", 10), REDQueue)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_queue("codel", 10)
+
+    def test_capacity_forwarded(self):
+        assert make_queue("droptail", 7).capacity_packets == 7

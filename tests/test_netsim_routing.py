@@ -1,0 +1,123 @@
+"""Routing tables: static shortest path, tag pinning, ECMP hashing."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import RoutingError
+from repro.netsim.packet import Packet
+from repro.netsim.routing import (
+    EcmpRoutingTable,
+    StaticRoutingTable,
+    TagRoutingTable,
+    paths_edges,
+)
+
+
+def diamond_graph():
+    g = nx.Graph()
+    g.add_edges_from([("s", "a"), ("s", "b"), ("a", "d"), ("b", "d")])
+    return g
+
+
+class TestStaticRouting:
+    def test_forwards_towards_destination(self):
+        table = StaticRoutingTable(diamond_graph())
+        packet = Packet("s", "d", 100)
+        hop = table.next_hop("s", packet)
+        assert hop in ("a", "b")
+
+    def test_last_hop_reaches_destination(self):
+        table = StaticRoutingTable(diamond_graph())
+        packet = Packet("s", "d", 100)
+        assert table.next_hop("a", packet) == "d"
+        assert table.next_hop("b", packet) == "d"
+
+    def test_unknown_destination_returns_none(self):
+        table = StaticRoutingTable(diamond_graph())
+        packet = Packet("s", "nowhere", 100)
+        assert table.next_hop("s", packet) is None
+
+
+class TestTagRouting:
+    def test_forward_path_follows_tag(self):
+        table = TagRoutingTable()
+        table.install_path(["s", "a", "d"], tag=1)
+        table.install_path(["s", "b", "d"], tag=2)
+        assert table.next_hop("s", Packet("s", "d", 100, tag=1)) == "a"
+        assert table.next_hop("s", Packet("s", "d", 100, tag=2)) == "b"
+
+    def test_reverse_path_installed_for_acks(self):
+        table = TagRoutingTable()
+        table.install_path(["s", "a", "d"], tag=1)
+        ack = Packet("d", "s", 60, tag=1, is_ack=True)
+        assert table.next_hop("d", ack) == "a"
+        assert table.next_hop("a", ack) == "s"
+
+    def test_default_route_used_for_unknown_tag(self):
+        table = TagRoutingTable()
+        table.install_path(["s", "a", "d"], tag=1, as_default=True)
+        assert table.next_hop("s", Packet("s", "d", 100, tag=99)) == "a"
+        assert table.next_hop("s", Packet("s", "d", 100, tag=None)) == "a"
+
+    def test_no_route_returns_none(self):
+        table = TagRoutingTable()
+        table.install_path(["s", "a", "d"], tag=1)
+        assert table.next_hop("s", Packet("s", "d", 100, tag=2)) is None
+
+    def test_fallback_table_consulted(self):
+        fallback = StaticRoutingTable(diamond_graph())
+        table = TagRoutingTable(fallback=fallback)
+        assert table.next_hop("s", Packet("s", "d", 100, tag=5)) in ("a", "b")
+
+    def test_installed_path_retrievable(self):
+        table = TagRoutingTable()
+        table.install_path(["s", "a", "d"], tag=1)
+        assert table.installed_path("s", "d", 1) == ["s", "a", "d"]
+        assert table.installed_path("d", "s", 1) == ["d", "a", "s"]
+
+    def test_short_path_rejected(self):
+        with pytest.raises(RoutingError):
+            TagRoutingTable().install_path(["s"], tag=1)
+
+    def test_looping_path_rejected(self):
+        with pytest.raises(RoutingError):
+            TagRoutingTable().install_path(["s", "a", "s"], tag=1)
+
+    def test_different_tags_may_share_a_prefix(self):
+        table = TagRoutingTable()
+        table.install_path(["s", "a", "d"], tag=1)
+        table.install_path(["s", "a", "b", "d"], tag=2)
+        assert table.next_hop("a", Packet("s", "d", 100, tag=1)) == "d"
+        assert table.next_hop("a", Packet("s", "d", 100, tag=2)) == "b"
+
+
+class TestEcmpRouting:
+    def test_next_hop_is_on_a_shortest_path(self):
+        table = EcmpRoutingTable(diamond_graph())
+        packet = Packet("s", "d", 100, flow_id=1, subflow_id=0)
+        assert table.next_hop("s", packet) in ("a", "b")
+
+    def test_same_flow_always_hashes_to_same_hop(self):
+        table = EcmpRoutingTable(diamond_graph())
+        packet = Packet("s", "d", 100, flow_id=12, subflow_id=3)
+        hops = {table.next_hop("s", Packet("s", "d", 100, flow_id=12, subflow_id=3)) for _ in range(5)}
+        assert len(hops) == 1
+
+    def test_different_subflows_can_take_different_paths(self):
+        table = EcmpRoutingTable(diamond_graph())
+        hops = {
+            table.next_hop("s", Packet("s", "d", 100, flow_id=1, subflow_id=i)) for i in range(32)
+        }
+        assert hops == {"a", "b"}
+
+    def test_unknown_destination_returns_none(self):
+        table = EcmpRoutingTable(diamond_graph())
+        assert table.next_hop("s", Packet("s", "zzz", 100)) is None
+
+
+class TestPathEdges:
+    def test_edges_of_node_list(self):
+        assert paths_edges(["s", "a", "d"]) == [("s", "a"), ("a", "d")]
+
+    def test_empty_for_single_node(self):
+        assert paths_edges(["s"]) == []

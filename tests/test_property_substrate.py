@@ -1,0 +1,136 @@
+"""Property-based tests for the simulation substrate (queues, DSN, sampling, engine)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.options import DsnReassembler
+from repro.measure.sampling import throughput_timeseries
+from repro.netsim.capture import CaptureRecord
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Packet
+from repro.netsim.queues import DropTailQueue
+from repro.tcp.rtt import RttEstimator
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_events_always_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=40),
+        st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_run_until_never_executes_later_events(self, delays, horizon):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run(until=horizon)
+        assert all(delay <= horizon for delay in fired)
+
+
+class TestQueueProperties:
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.lists(st.integers(min_value=40, max_value=1500), min_size=1, max_size=200),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, capacity, sizes):
+        queue = DropTailQueue(capacity_packets=capacity)
+        for size in sizes:
+            queue.enqueue(Packet("s", "d", size), 0.0)
+        assert len(queue) <= capacity
+        assert queue.stats.enqueued + queue.stats.dropped == len(sizes)
+
+    @given(st.lists(st.integers(min_value=40, max_value=1500), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_fifo_conservation(self, sizes):
+        queue = DropTailQueue(capacity_packets=1000)
+        packets = [Packet("s", "d", size) for size in sizes]
+        for packet in packets:
+            queue.enqueue(packet, 0.0)
+        drained = []
+        while True:
+            packet = queue.dequeue()
+            if packet is None:
+                break
+            drained.append(packet)
+        assert drained == packets
+        assert queue.byte_count == 0
+
+
+class TestDsnReassemblerProperties:
+    @given(st.permutations(list(range(20))), st.integers(min_value=100, max_value=1500))
+    @settings(max_examples=50, deadline=None)
+    def test_any_delivery_order_reassembles_completely(self, order, chunk):
+        reasm = DsnReassembler()
+        for index in order:
+            reasm.deliver(index * chunk, chunk, now=0.0)
+        assert reasm.data_ack == 20 * chunk
+        assert reasm.delivered_bytes == 20 * chunk
+        assert reasm.out_of_order_bytes == 0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=19), min_size=1, max_size=60),
+        st.integers(min_value=100, max_value=1500),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_duplicates_never_inflate_delivered_bytes(self, indices, chunk):
+        reasm = DsnReassembler()
+        for index in indices:
+            reasm.deliver(index * chunk, chunk, now=0.0)
+        unique = len(set(indices))
+        # Delivered bytes can be less (holes) but never more than unique chunks.
+        assert reasm.delivered_bytes + reasm.out_of_order_bytes == unique * chunk
+        assert reasm.data_ack <= unique * chunk
+
+
+class TestSamplingProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1.0),
+                st.integers(min_value=60, max_value=1500),
+            ),
+            min_size=1,
+            max_size=200,
+        ),
+        st.sampled_from([0.01, 0.05, 0.1]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_binning_conserves_bytes(self, arrivals, interval):
+        records = [
+            CaptureRecord(
+                time=t,
+                size=size,
+                payload_len=size,
+                tag=1,
+                flow_id=1,
+                subflow_id=0,
+                is_ack=False,
+                seq=0,
+                dsn=0,
+                is_retransmission=False,
+            )
+            for t, size in arrivals
+        ]
+        series = throughput_timeseries(records, interval=interval, start=0.0, end=1.0 + interval)
+        binned_bytes = sum(v * 1e6 / 8 * interval for v in series.values)
+        assert abs(binned_bytes - sum(size for _, size in arrivals)) < 1e-3
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=0.5), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_rtt_estimator_stays_within_sample_range(self, samples):
+        estimator = RttEstimator()
+        for sample in samples:
+            estimator.update(sample)
+        assert min(samples) <= estimator.srtt <= max(samples)
+        assert estimator.min_rtt == min(samples)

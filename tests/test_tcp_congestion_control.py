@@ -1,0 +1,175 @@
+"""Single-path congestion control: slow start, Reno AIMD, CUBIC."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tcp.cc import make_congestion_control
+from repro.tcp.cc.base import INITIAL_CWND_SEGMENTS, MIN_CWND_SEGMENTS
+from repro.tcp.cc.cubic import CubicCongestionControl
+from repro.tcp.cc.reno import RenoCongestionControl
+
+MSS = 1400
+
+
+class TestFactory:
+    def test_reno_by_name(self):
+        assert isinstance(make_congestion_control("reno", mss=MSS), RenoCongestionControl)
+
+    def test_newreno_alias(self):
+        assert isinstance(make_congestion_control("newreno", mss=MSS), RenoCongestionControl)
+
+    def test_cubic_by_name(self):
+        assert isinstance(make_congestion_control("CUBIC", mss=MSS), CubicCongestionControl)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_congestion_control("bbr", mss=MSS)
+
+    def test_lia_is_not_a_single_path_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            make_congestion_control("lia", mss=MSS)
+
+
+class TestCommonBehaviour:
+    @pytest.fixture(params=["reno", "cubic"])
+    def cc(self, request):
+        return make_congestion_control(request.param, mss=MSS)
+
+    def test_initial_window(self, cc):
+        assert cc.cwnd == pytest.approx(INITIAL_CWND_SEGMENTS)
+        assert cc.cwnd_bytes == pytest.approx(INITIAL_CWND_SEGMENTS * MSS)
+
+    def test_slow_start_doubles_per_window(self, cc):
+        # Acknowledging a full window in slow start doubles the window.
+        before = cc.cwnd
+        for _ in range(int(before)):
+            cc.on_ack(MSS, srtt=0.01, now=0.01)
+        assert cc.cwnd == pytest.approx(2 * before, rel=0.05)
+
+    def test_loss_reduces_window(self, cc):
+        for _ in range(40):
+            cc.on_ack(MSS, srtt=0.01, now=0.01)
+        before = cc.cwnd
+        cc.on_loss(now=0.5)
+        assert cc.cwnd < before
+        assert cc.cwnd >= MIN_CWND_SEGMENTS
+
+    def test_loss_sets_ssthresh(self, cc):
+        for _ in range(40):
+            cc.on_ack(MSS, srtt=0.01, now=0.01)
+        cc.on_loss(now=0.5)
+        assert cc.ssthresh == pytest.approx(cc.cwnd)
+
+    def test_timeout_collapses_to_one_segment(self, cc):
+        for _ in range(20):
+            cc.on_ack(MSS, srtt=0.01, now=0.01)
+        cc.on_timeout(now=1.0)
+        assert cc.cwnd == 1.0
+        assert cc.ssthresh >= MIN_CWND_SEGMENTS
+
+    def test_zero_byte_ack_ignored(self, cc):
+        before = cc.cwnd
+        cc.on_ack(0, srtt=0.01, now=0.01)
+        assert cc.cwnd == before
+
+    def test_loss_counters(self, cc):
+        cc.on_loss(now=0.1)
+        cc.on_timeout(now=0.2)
+        assert cc.losses == 1
+        assert cc.timeouts == 1
+
+    def test_slow_start_exits_at_ssthresh(self, cc):
+        cc.ssthresh = 20.0
+        for _ in range(200):
+            cc.on_ack(MSS, srtt=0.01, now=0.01)
+        assert not cc.in_slow_start
+
+
+class TestRenoAimd:
+    def test_congestion_avoidance_adds_one_segment_per_rtt(self):
+        cc = RenoCongestionControl(mss=MSS)
+        cc.ssthresh = 10.0
+        cc.cwnd = 10.0
+        # One round trip: acknowledge cwnd segments.
+        for _ in range(10):
+            cc.on_ack(MSS, srtt=0.01, now=0.02)
+        assert cc.cwnd == pytest.approx(11.0, rel=0.02)
+
+    def test_halving_on_loss(self):
+        cc = RenoCongestionControl(mss=MSS)
+        cc.ssthresh = 10.0
+        cc.cwnd = 24.0
+        cc.on_loss(now=0.1)
+        assert cc.cwnd == pytest.approx(12.0)
+
+
+class TestCubic:
+    def make_cc(self, **kwargs):
+        cc = CubicCongestionControl(mss=MSS, **kwargs)
+        cc.ssthresh = cc.cwnd  # force congestion avoidance
+        return cc
+
+    def test_beta_decrease_on_loss(self):
+        cc = self.make_cc()
+        cc.cwnd = 100.0
+        cc.on_loss(now=1.0)
+        assert cc.cwnd == pytest.approx(70.0)
+
+    def test_fast_convergence_lowers_wmax(self):
+        cc = self.make_cc(fast_convergence=True)
+        cc.cwnd = 100.0
+        cc.on_loss(now=1.0)          # w_max = 100
+        cc.cwnd = 80.0               # window stopped growing below w_max
+        cc.on_loss(now=2.0)
+        assert cc._w_max == pytest.approx(80.0 * (2 - cc.BETA) / 2)
+
+    def test_without_fast_convergence_wmax_is_cwnd(self):
+        cc = self.make_cc(fast_convergence=False)
+        cc.cwnd = 100.0
+        cc.on_loss(now=1.0)
+        cc.cwnd = 80.0
+        cc.on_loss(now=2.0)
+        assert cc._w_max == pytest.approx(80.0)
+
+    def test_window_grows_towards_wmax_after_loss(self):
+        cc = self.make_cc()
+        cc.cwnd = 100.0
+        cc.on_loss(now=0.0)
+        now = 0.0
+        for _ in range(3000):
+            now += 0.001
+            cc.on_ack(MSS, srtt=0.01, now=now)
+        # After enough time CUBIC grows back to (and beyond) the previous maximum.
+        assert cc.cwnd >= 95.0
+
+    def test_growth_is_slow_near_wmax_and_faster_far_from_it(self):
+        cc = self.make_cc()
+        cc.cwnd = 100.0
+        cc.on_loss(now=0.0)
+        early_window = cc.cwnd
+        for i in range(100):
+            cc.on_ack(MSS, srtt=0.01, now=0.001 * (i + 1))
+        early_growth = cc.cwnd - early_window
+        assert early_growth < 10.0  # concave region right after the loss
+
+    def test_tcp_friendly_region_floors_growth(self):
+        friendly = self.make_cc(tcp_friendliness=True)
+        unfriendly = self.make_cc(tcp_friendliness=False)
+        for cc in (friendly, unfriendly):
+            cc.cwnd = 20.0
+            cc.on_loss(now=0.0)
+        now = 0.0
+        for _ in range(400):
+            now += 0.01
+            friendly.on_ack(MSS, srtt=0.1, now=now)
+            unfriendly.on_ack(MSS, srtt=0.1, now=now)
+        # With a long RTT the Reno estimate dominates the cubic curve early on.
+        assert friendly.cwnd >= unfriendly.cwnd
+
+    def test_timeout_resets_epoch(self):
+        cc = self.make_cc()
+        cc.cwnd = 50.0
+        cc.on_ack(MSS, srtt=0.01, now=0.5)
+        cc.on_timeout(now=1.0)
+        assert cc.cwnd == 1.0
+        assert cc._epoch_start is None

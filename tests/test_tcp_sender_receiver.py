@@ -1,0 +1,179 @@
+"""Packet-level TCP sender/receiver over a simulated link.
+
+These are integration tests of the transport substrate: the sender and
+receiver run on hosts of a built network and must deliver a byte stream
+reliably, recover from queue drops via fast retransmit / RTO and keep the
+congestion window consistent.
+"""
+
+import pytest
+
+from repro.netsim.network import Network
+from repro.tcp.connection import BulkDataAdapter, TcpConnection
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.sender import TcpSender
+from repro.tcp.cc import make_congestion_control
+from repro.units import DEFAULT_MSS
+
+from .conftest import make_chain_topology
+
+
+def run_single_tcp(capacity_mbps=50.0, duration=0.5, cc="cubic", total_bytes=None, hops=1):
+    topology = make_chain_topology(capacity_mbps=capacity_mbps, hops=hops)
+    network = Network(topology)
+    path = ["s"] + [f"r{i + 1}" for i in range(hops)] + ["d"]
+    network.install_path(path, tag=1, as_default=True)
+    connection = TcpConnection(network, "s", "d", cc=cc, tag=1, total_bytes=total_bytes)
+    connection.start(0.0)
+    network.run(duration)
+    return network, connection
+
+
+class TestBulkTransferDelivery:
+    def test_receiver_gets_contiguous_stream(self):
+        _, connection = run_single_tcp(duration=0.3)
+        receiver = connection.receiver
+        assert receiver.rcv_nxt > 0
+        assert receiver.stats.bytes_received == receiver.rcv_nxt
+
+    def test_bytes_acked_never_exceed_bytes_sent(self):
+        _, connection = run_single_tcp(duration=0.3)
+        assert connection.bytes_acked <= connection.sender.stats.bytes_sent
+
+    def test_throughput_approaches_link_capacity(self):
+        _, connection = run_single_tcp(capacity_mbps=20.0, duration=1.0)
+        achieved = connection.throughput_mbps(1.0)
+        assert achieved > 0.7 * 20.0
+        assert achieved <= 20.0 + 1.0
+
+    def test_finite_transfer_completes_and_stops(self):
+        total = 200 * 1000
+        _, connection = run_single_tcp(capacity_mbps=50.0, duration=1.0, total_bytes=total)
+        assert connection.bytes_acked == total
+        assert connection.sender.flight_size == 0
+
+    def test_multi_hop_path_works(self):
+        _, connection = run_single_tcp(capacity_mbps=30.0, duration=0.5, hops=3)
+        assert connection.throughput_mbps(0.5) > 0.5 * 30.0
+
+    def test_reno_also_fills_the_link(self):
+        _, connection = run_single_tcp(capacity_mbps=20.0, duration=1.0, cc="reno")
+        assert connection.throughput_mbps(1.0) > 0.7 * 20.0
+
+
+class TestLossRecovery:
+    # Reno has no HyStart, so its slow-start overshoot reliably overflows the
+    # bottleneck queue and exercises the loss-recovery machinery.
+    def test_queue_drops_trigger_fast_retransmit(self):
+        network, connection = run_single_tcp(capacity_mbps=10.0, duration=1.0, cc="reno")
+        assert network.total_drops() > 0
+        assert connection.sender.stats.fast_retransmits > 0
+
+    def test_stream_stays_contiguous_despite_losses(self):
+        network, connection = run_single_tcp(capacity_mbps=10.0, duration=1.0, cc="reno")
+        assert network.total_drops() > 0
+        receiver = connection.receiver
+        # Cumulative ACK equals delivered bytes: no holes were skipped.
+        assert receiver.stats.bytes_received == receiver.rcv_nxt
+
+    def test_retransmissions_do_not_exceed_drops_by_much(self):
+        network, connection = run_single_tcp(capacity_mbps=10.0, duration=1.0, cc="reno")
+        stats = connection.sender.stats
+        # Every drop needs a retransmission; spurious retransmissions should
+        # stay within a small factor of the real losses.
+        assert stats.retransmissions >= 1
+        assert stats.retransmissions <= 3 * network.total_drops() + 10
+
+    def test_retransmission_counter_consistent(self):
+        _, connection = run_single_tcp(capacity_mbps=10.0, duration=1.0, cc="reno")
+        stats = connection.sender.stats
+        assert stats.retransmissions >= stats.fast_retransmits
+
+    def test_rtt_estimator_collected_samples(self):
+        _, connection = run_single_tcp(duration=0.3)
+        assert connection.sender.rtt.samples > 10
+        assert connection.sender.rtt.srtt > 0.002  # at least the propagation delay
+
+
+class TestSenderWindowing:
+    def test_flight_bounded_by_window_in_lossless_run(self):
+        # With a queue far larger than any window reached in 0.3 s there are no
+        # losses, so the flight size must track the congestion window exactly.
+        topology = make_chain_topology(capacity_mbps=50.0, queue_packets=5000)
+        network = Network(topology)
+        network.install_path(["s", "r1", "d"], tag=1, as_default=True)
+        connection = TcpConnection(network, "s", "d", cc="cubic", tag=1)
+        connection.start(0.0)
+
+        violations = []
+
+        def check():
+            sender = connection.sender
+            if sender.flight_size > sender.cc.cwnd_bytes + sender.mss:
+                violations.append(network.sim.now)
+            if network.sim.now < 0.3:
+                network.sim.schedule(0.0005, check)
+
+        network.sim.schedule(0.0005, check)
+        network.run(0.35)
+        assert network.total_drops() == 0
+        assert violations == []
+
+    def test_pipe_never_exceeds_flight(self):
+        _, connection = run_single_tcp(capacity_mbps=20.0, duration=0.5, cc="reno")
+        sender = connection.sender
+        assert 0 <= sender.pipe <= sender.flight_size
+
+    def test_sender_ignores_data_packets(self, chain_network):
+        from repro.netsim.packet import Packet
+
+        connection = TcpConnection(chain_network, "s", "d", tag=1)
+        data = Packet("d", "s", 1460, payload_len=1400, flow_id=connection.flow_id)
+        connection.sender.handle_packet(data)  # must not raise
+        assert connection.sender.snd_una == 0
+
+    def test_receiver_ignores_ack_packets(self, chain_network):
+        from repro.netsim.packet import Packet
+
+        connection = TcpConnection(chain_network, "s", "d", tag=1)
+        ack = Packet("s", "d", 60, is_ack=True, ack=100, flow_id=connection.flow_id)
+        connection.receiver.handle_packet(ack)  # must not raise
+        assert connection.receiver.rcv_nxt == 0
+
+
+class TestBulkDataAdapter:
+    def test_unbounded_adapter_always_grants(self):
+        adapter = BulkDataAdapter()
+        dsn, length = adapter.request_data(None, 1400)
+        assert (dsn, length) == (0, 1400)
+        dsn, length = adapter.request_data(None, 1400)
+        assert dsn == 1400
+
+    def test_bounded_adapter_stops_at_total(self):
+        adapter = BulkDataAdapter(total_bytes=2000)
+        assert adapter.request_data(None, 1400) == (0, 1400)
+        assert adapter.request_data(None, 1400) == (1400, 600)
+        assert adapter.request_data(None, 1400) is None
+
+    def test_acked_bytes_recorded(self):
+        adapter = BulkDataAdapter()
+        adapter.on_data_acked(None, 0, 1400, now=0.1)
+        assert adapter.acked_bytes == 1400
+        assert adapter.last_ack_time == 0.1
+
+
+class TestTcpConnectionApi:
+    def test_same_endpoints_rejected(self, chain_network):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            TcpConnection(chain_network, "s", "s")
+
+    def test_flow_ids_unique(self, chain_network):
+        a = TcpConnection(chain_network, "s", "d", tag=1)
+        b = TcpConnection(chain_network, "d", "s", tag=1)
+        assert a.flow_id != b.flow_id
+
+    def test_throughput_zero_before_start(self, chain_network):
+        connection = TcpConnection(chain_network, "s", "d", tag=1)
+        assert connection.throughput_mbps(1.0) == 0.0

@@ -1,0 +1,86 @@
+"""Unit conversions and protocol constants."""
+
+import pytest
+
+from repro import units
+
+
+class TestRateConversions:
+    def test_mbps_to_bps(self):
+        assert units.mbps(100) == 100_000_000.0
+
+    def test_to_mbps_roundtrip(self):
+        assert units.to_mbps(units.mbps(42.5)) == pytest.approx(42.5)
+
+    def test_kbps(self):
+        assert units.kbps(500) == 500_000.0
+
+    def test_gbps(self):
+        assert units.gbps(1) == 1_000_000_000.0
+
+
+class TestTimeConversions:
+    def test_milliseconds(self):
+        assert units.milliseconds(100) == pytest.approx(0.1)
+
+    def test_microseconds(self):
+        assert units.microseconds(250) == pytest.approx(0.00025)
+
+    def test_to_milliseconds_roundtrip(self):
+        assert units.to_milliseconds(units.milliseconds(7.5)) == pytest.approx(7.5)
+
+
+class TestDataConversions:
+    def test_bytes_to_bits(self):
+        assert units.bytes_to_bits(1) == 8
+
+    def test_bits_to_bytes(self):
+        assert units.bits_to_bytes(units.bytes_to_bits(1500)) == pytest.approx(1500)
+
+
+class TestTransmissionTime:
+    def test_transmission_time_of_a_packet(self):
+        # 1500 bytes on a 100 Mbps link take 120 microseconds.
+        assert units.transmission_time(1500, units.mbps(100)) == pytest.approx(120e-6)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(1500, 0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(1500, -1)
+
+
+class TestThroughput:
+    def test_throughput_mbps(self):
+        # 12.5 MB in one second is 100 Mbps.
+        assert units.throughput_mbps(12_500_000, 1.0) == pytest.approx(100.0)
+
+    def test_zero_duration_is_zero(self):
+        assert units.throughput_mbps(1000, 0.0) == 0.0
+
+    def test_negative_duration_is_zero(self):
+        assert units.throughput_mbps(1000, -1.0) == 0.0
+
+
+class TestBandwidthDelayProduct:
+    def test_bdp(self):
+        # 100 Mbps * 10 ms = 125000 bytes.
+        assert units.bandwidth_delay_product(units.mbps(100), 0.01) == 125_000
+
+    def test_bdp_zero_rtt(self):
+        assert units.bandwidth_delay_product(units.mbps(100), 0.0) == 0
+
+
+class TestConstants:
+    def test_mss_smaller_than_typical_mtu(self):
+        assert 0 < units.DEFAULT_MSS <= 1460
+
+    def test_header_and_ack_sizes_positive(self):
+        assert units.HEADER_SIZE > 0
+        assert units.ACK_SIZE > 0
+
+    def test_default_capacity_matches_paper(self):
+        # "the capacities are ... the default 100"
+        assert units.DEFAULT_CAPACITY_MBPS == 100.0
