@@ -1,8 +1,10 @@
 """MICRO-ENGINE: substrate micro-benchmarks.
 
 Not a paper artefact -- these keep an eye on the cost of the simulation
-substrate itself: raw event throughput of the discrete-event engine and the
-cost of one simulated second of a saturated single TCP flow.
+substrate itself: raw event throughput of the discrete-event engine (both
+the fire-and-forget fast path used by the packet pipeline and the
+cancellable-handle path used by timers) and the cost of one simulated
+second of a saturated single TCP flow.
 """
 
 from conftest import report
@@ -15,6 +17,22 @@ from repro.tcp.connection import TcpConnection
 
 
 def pump_events(count: int = 50_000) -> int:
+    """Self-scheduling event chains through the packet-pipeline fast path."""
+    sim = Simulator()
+    schedule_fast = sim.schedule_fast
+
+    def tick(remaining: int) -> None:
+        if remaining > 0:
+            schedule_fast(0.0001, tick, remaining - 1)
+
+    for _ in range(50):
+        schedule_fast(0.0, tick, count // 50)
+    sim.run()
+    return sim.events_processed
+
+
+def pump_events_with_handles(count: int = 50_000) -> int:
+    """Same workload through schedule(), which returns cancellation handles."""
     sim = Simulator()
 
     def tick(remaining: int) -> None:
@@ -44,6 +62,11 @@ def single_tcp_second() -> int:
 
 def test_engine_event_throughput(benchmark):
     processed = benchmark(pump_events)
+    assert processed >= 50_000
+
+
+def test_engine_event_throughput_with_handles(benchmark):
+    processed = benchmark(pump_events_with_handles)
     assert processed >= 50_000
 
 

@@ -1,0 +1,52 @@
+"""Perf-regression guard: machine-readable substrate timings.
+
+Times the engine and packet-pipeline hot paths with ``time.perf_counter``
+and writes the events-per-second figures to ``BENCH_engine.json`` next to
+this file, so future changes can compare against the recorded trajectory
+(regenerate on the same machine before and after a change).
+
+Runs as a plain pytest test (no ``benchmark`` fixture), so a bare
+``pytest benchmarks/bench_perf_baseline.py`` refreshes the file.
+"""
+
+import json
+import pathlib
+import platform
+import sys
+import time
+
+from bench_netsim_engine import pump_events, pump_events_with_handles, single_tcp_second
+
+RESULTS_PATH = pathlib.Path(__file__).with_name("BENCH_engine.json")
+
+
+def _best_rate(fn, *, rounds: int = 5) -> float:
+    """Best events-per-second over ``rounds`` runs (min-time estimator)."""
+    best = 0.0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        events = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, events / elapsed)
+    return best
+
+
+def test_write_perf_baseline():
+    timings = {
+        "engine_fast_path_events_per_sec": _best_rate(pump_events),
+        "engine_handle_path_events_per_sec": _best_rate(pump_events_with_handles),
+        "tcp_pipeline_events_per_sec": _best_rate(single_tcp_second, rounds=3),
+    }
+    payload = {
+        "schema": 1,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "timings": {key: round(value, 1) for key, value in timings.items()},
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {RESULTS_PATH}:", json.dumps(payload["timings"], indent=2), file=sys.stderr)
+    # Loose sanity floors: an order of magnitude below current numbers, so
+    # the guard trips on catastrophic regressions without being flaky.
+    assert timings["engine_fast_path_events_per_sec"] > 100_000
+    assert timings["tcp_pipeline_events_per_sec"] > 30_000

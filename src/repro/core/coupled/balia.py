@@ -28,14 +28,14 @@ class BaliaCongestionControl(CoupledCongestionControl):
         return self.cwnd / self.rtt_or_default()
 
     def _alpha(self) -> float:
-        rates = [m.cwnd / m.rtt_or_default() for m in self.group.members]
+        rates = [m.cwnd / m.rtt_or_default() for m in self.group.members_view]
         own = self._rate()
         if own <= 0 or not rates:
             return 1.0
         return max(rates) / own
 
     def _congestion_avoidance(self, acked_segments: float, srtt: float, now: float) -> None:
-        members = self.group.members
+        members = self.group.members_view
         total_rate = sum(m.cwnd / m.rtt_or_default() for m in members)
         if total_rate <= 0 or self.cwnd <= 0:
             self.cwnd = max(self.cwnd, 1.0)

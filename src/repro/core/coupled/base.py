@@ -32,7 +32,17 @@ class CouplingGroup:
 
     @property
     def members(self) -> List["CoupledCongestionControl"]:
+        """A defensive copy of the registered members."""
         return list(self._members)
+
+    @property
+    def members_view(self) -> List["CoupledCongestionControl"]:
+        """The live member list, NOT copied — read-only by convention.
+
+        The coupled algorithms iterate this on every ACK; mutating it
+        corrupts the group (use register/unregister instead).
+        """
+        return self._members
 
     def __len__(self) -> int:
         return len(self._members)

@@ -27,7 +27,7 @@ class LiaCongestionControl(CoupledCongestionControl):
 
     def alpha(self) -> float:
         """The LIA aggressiveness factor computed over all subflows."""
-        members = self.group.members
+        members = self.group.members_view
         total_cwnd = sum(m.cwnd for m in members)
         if total_cwnd <= 0:
             return 1.0

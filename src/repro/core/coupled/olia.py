@@ -56,17 +56,23 @@ class OliaCongestionControl(CoupledCongestionControl):
     # ------------------------------------------------------------------ alpha
     def _alpha(self) -> float:
         members: List[OliaCongestionControl] = [
-            m for m in self.group.members if isinstance(m, OliaCongestionControl)
+            m for m in self.group.members_view if isinstance(m, OliaCongestionControl)
         ]
         n = len(members)
         if n <= 1:
             return 0.0
         epsilon = 1e-9
-        best_quality = max(m._rate_estimate() for m in members)
+        # One rate estimate per member per ACK; the quality metric is
+        # deterministic at a given instant, so reusing it is exact.
+        qualities = [m._rate_estimate() for m in members]
+        best_quality = max(qualities)
         max_cwnd = max(m.cwnd for m in members)
-        best_paths = [m for m in members if m._rate_estimate() >= best_quality - epsilon]
         max_window_paths = [m for m in members if m.cwnd >= max_cwnd - epsilon]
-        collected = [m for m in best_paths if m not in max_window_paths]
+        collected = [
+            m
+            for m, quality in zip(members, qualities)
+            if quality >= best_quality - epsilon and m not in max_window_paths
+        ]
         if not collected:
             return 0.0
         if self in collected:
@@ -78,7 +84,7 @@ class OliaCongestionControl(CoupledCongestionControl):
     # ------------------------------------------------------------------ events
     def _congestion_avoidance(self, acked_segments: float, srtt: float, now: float) -> None:
         self._bytes_since_loss += acked_segments * self.mss
-        members = self.group.members
+        members = self.group.members_view
         rate_sum = sum(m.cwnd / m.rtt_or_default() for m in members)
         if rate_sum <= 0 or self.cwnd <= 0:
             self.cwnd = max(self.cwnd, 1.0)

@@ -32,7 +32,7 @@ class WVegasCongestionControl(CoupledCongestionControl):
     # ------------------------------------------------------------------
     def _weight(self) -> float:
         """This subflow's share of the backlog target (rate-proportional)."""
-        members = [m for m in self.group.members if isinstance(m, WVegasCongestionControl)]
+        members = [m for m in self.group.members_view if isinstance(m, WVegasCongestionControl)]
         total_rate = sum(m.cwnd / m.rtt_or_default() for m in members)
         if total_rate <= 0:
             return 1.0 / max(len(members), 1)

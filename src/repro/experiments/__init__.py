@@ -2,7 +2,13 @@
 
 from .ascii_plot import ascii_chart, plot_figure
 from .figures import FigureData, fig2a_cubic, fig2b_olia, fig2c_fine, figure_with_algorithm
-from .harness import ExperimentConfig, ExperimentResult, paper_experiment, run_experiment
+from .harness import (
+    ExperimentConfig,
+    ExperimentResult,
+    paper_experiment,
+    run_experiment,
+    run_scenarios_parallel,
+)
 from .scenarios import (
     cc_comparison,
     olia_default_path_sweep,
@@ -27,6 +33,7 @@ __all__ = [
     "plot_figure",
     "queue_size_sweep",
     "run_experiment",
+    "run_scenarios_parallel",
     "scheduler_comparison",
     "summarize_results",
     "variant_comparison",

@@ -9,8 +9,11 @@ series, and compare the result against the analytical optimum.
 
 from __future__ import annotations
 
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.connection import MptcpConnection
 from ..measure.convergence import ConvergenceReport, analyze_convergence
@@ -158,6 +161,40 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         drops=network.total_drops(),
         events_processed=network.sim.events_processed,
     )
+
+
+def run_scenarios_parallel(
+    configs: Sequence[ExperimentConfig],
+    *,
+    max_workers: Optional[int] = None,
+) -> List[ExperimentResult]:
+    """Run a scenario sweep, fanning the runs across worker processes.
+
+    Each configuration is an independent simulation, so figure-style
+    multi-scenario sweeps scale with cores.  Results come back in the order
+    of ``configs``.
+
+    Falls back to running serially when multiprocessing is unavailable
+    (restricted sandboxes) or when a configuration cannot be pickled (e.g. a
+    ``scenario`` lambda); module-level scenario builders keep configurations
+    picklable.
+    """
+    configs = list(configs)
+    if len(configs) <= 1 or max_workers == 1:
+        return [run_experiment(config) for config in configs]
+    try:
+        # Probe picklability up front (a `scenario` lambda is the common
+        # offender) so that real errors raised *inside* run_experiment are
+        # never mistaken for multiprocessing limitations below.
+        pickle.dumps(configs)
+    except Exception:
+        return [run_experiment(config) for config in configs]
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(run_experiment, configs))
+    except (BrokenProcessPool, PermissionError):
+        # No subprocess support (restricted sandbox): run in-process.
+        return [run_experiment(config) for config in configs]
 
 
 def paper_experiment(

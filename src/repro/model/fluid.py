@@ -31,15 +31,20 @@ from .bottleneck import ConstraintSystem
 
 @dataclass
 class FluidResult:
-    """Trajectory and equilibrium of a fluid-model run."""
+    """Trajectory and equilibrium of a fluid-model run.
 
-    times: List[float]
-    rates_mbps: List[List[float]]  # one row per time step, one column per path
+    ``times`` is a 1-D array of log timestamps and ``rates_mbps`` a 2-D array
+    with one row per logged step and one column per path.  Both are
+    preallocated by :meth:`FluidModel.run` instead of growing per step.
+    """
+
+    times: np.ndarray
+    rates_mbps: np.ndarray  # one row per time step, one column per path
     algorithm: str = "uncoupled"
 
     @property
     def final_rates(self) -> List[float]:
-        return self.rates_mbps[-1]
+        return [float(v) for v in self.rates_mbps[-1]]
 
     @property
     def final_total(self) -> float:
@@ -130,8 +135,11 @@ class FluidModel:
         steps = int(duration / dt)
         windows = np.full(self.n, float(initial_window))
         rtts = np.asarray(self.rtts)
-        times: List[float] = []
-        rates_log: List[List[float]] = []
+        # Preallocated trajectory log: one row per logged step (every 10th).
+        log_size = (steps + 9) // 10
+        times = np.empty(log_size, dtype=np.float64)
+        rates_log = np.empty((log_size, self.n), dtype=np.float64)
+        logged = 0
 
         for step in range(steps):
             rates_mbps = self._window_to_mbps(windows)
@@ -143,10 +151,13 @@ class FluidModel:
             windows = np.maximum(windows + dt * (increase - decrease), 1.0)
 
             if step % 10 == 0:
-                times.append(step * dt)
-                rates_log.append([float(v) for v in self._window_to_mbps(windows)])
+                times[logged] = step * dt
+                rates_log[logged] = self._window_to_mbps(windows)
+                logged += 1
 
-        return FluidResult(times=times, rates_mbps=rates_log, algorithm=algorithm)
+        return FluidResult(
+            times=times[:logged], rates_mbps=rates_log[:logged], algorithm=algorithm
+        )
 
     # ------------------------------------------------------------------
     def _increase_per_ack(self, algorithm: str, windows: np.ndarray, rtts: np.ndarray) -> np.ndarray:

@@ -1,9 +1,21 @@
 """Discrete-event simulation engine.
 
-The engine is a classic calendar queue built on :mod:`heapq`.  Every event is
-a ``(time, sequence, callback, args)`` tuple; the sequence number breaks ties
-so that events scheduled for the same instant run in FIFO order and the
-simulation stays deterministic.
+The engine is a classic calendar queue built on :mod:`heapq`.  Every heap
+entry is a plain list ``[time, sequence, callback, args]`` so that heap sift
+operations compare ``(time, sequence)`` at C speed instead of calling back
+into Python; the sequence number breaks ties so that events scheduled for
+the same instant run in FIFO order and the simulation stays deterministic.
+
+Two scheduling APIs are offered:
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` return an
+  :class:`Event` handle that supports cancellation (retransmission timers).
+  Cancelled entries are drained by the run loop into a reusable-entry free
+  list that feeds subsequent ``schedule`` calls, so a timer that is re-armed
+  on every ACK recycles one heap entry instead of allocating a new one.
+* :meth:`Simulator.schedule_fast` / :meth:`Simulator.schedule_fast_at` are
+  the allocation-light fast path for fire-and-forget callbacks (per-packet
+  link events): no cancellation handle is created at all.
 
 Typical use::
 
@@ -19,35 +31,59 @@ from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
 
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: Upper bound on the reusable-entry free list; beyond this, drained entries
+#: are simply dropped for the garbage collector.
+_POOL_LIMIT = 4096
+
+# NOTE: the heap entry layout [time, seq, callback, args] is mirrored by the
+# inlined fast-path pushes in netsim/link.py (_transmit/_serve_queue); keep
+# the two in sync when changing it.
+
 
 class Event:
-    """A scheduled callback.
+    """A cancellation handle for a scheduled callback.
 
     Events are returned by :meth:`Simulator.schedule` so callers can cancel
     them later (e.g. a retransmission timer that is re-armed on every ACK).
-    Cancellation is lazy: the event stays in the heap but is skipped when it
-    reaches the head.
+    Cancellation is lazy: the underlying heap entry stays in the heap but is
+    skipped (and recycled) when it reaches the head.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("_entry", "_seq", "_cancelled")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.args = args
-        self.cancelled = False
+    def __init__(self, entry: list):
+        self._entry = entry
+        self._seq = entry[1]
+        self._cancelled = False
+
+    @property
+    def time(self) -> float:
+        return self._entry[0] if self._entry[1] == self._seq else 0.0
+
+    @property
+    def seq(self) -> int:
+        return self._seq
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will not run."""
-        self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        self._cancelled = True
+        entry = self._entry
+        # The entry may have been recycled for a different event after this
+        # one fired; the sequence number acts as a generation check.
+        if entry[1] == self._seq:
+            entry[2] = None
+            entry[3] = ()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "cancelled" if self.cancelled else "pending"
-        return f"Event(t={self.time:.6f}, {self.callback!r}, {state})"
+        state = "cancelled" if self._cancelled else "pending"
+        return f"Event(t={self._entry[0]:.6f}, {self._entry[2]!r}, {state})"
 
 
 class Simulator:
@@ -58,14 +94,20 @@ class Simulator:
     now:
         Current simulation time in seconds.
     events_processed:
-        Number of callbacks executed so far (useful for micro-benchmarks).
+        Number of callbacks executed by completed :meth:`run` calls (useful
+        for micro-benchmarks).  The counter is accumulated locally inside the
+        run loop and flushed when :meth:`run` returns, so a callback reading
+        it *during* a run sees the value from before that run started.
     """
+
+    __slots__ = ("now", "events_processed", "_heap", "_seq", "_pool", "_running", "_stopped")
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self.events_processed: int = 0
-        self._heap: list[Event] = []
+        self._heap: list[list] = []
         self._seq: int = 0
+        self._pool: list[list] = []
         self._running: bool = False
         self._stopped: bool = False
 
@@ -74,7 +116,18 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule an event {delay} seconds in the past")
-        return self.schedule_at(self.now + delay, callback, *args)
+        pool = self._pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = self.now + delay
+            entry[1] = self._seq
+            entry[2] = callback
+            entry[3] = args
+        else:
+            entry = [self.now + delay, self._seq, callback, args]
+        self._seq += 1
+        _heappush(self._heap, entry)
+        return Event(entry)
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run at absolute simulation ``time``."""
@@ -82,10 +135,39 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule an event at t={time} before the current time t={self.now}"
             )
-        event = Event(time, self._seq, callback, args)
+        pool = self._pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = time
+            entry[1] = self._seq
+            entry[2] = callback
+            entry[3] = args
+        else:
+            entry = [time, self._seq, callback, args]
         self._seq += 1
-        heapq.heappush(self._heap, event)
-        return event
+        _heappush(self._heap, entry)
+        return Event(entry)
+
+    def schedule_fast(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget fast path: no :class:`Event` handle is created.
+
+        Use for callbacks that are never cancelled (per-packet link events).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay} seconds in the past")
+        entry = [self.now + delay, self._seq, callback, args]
+        self._seq += 1
+        _heappush(self._heap, entry)
+
+    def schedule_fast_at(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Absolute-time variant of :meth:`schedule_fast`."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule an event at t={time} before the current time t={self.now}"
+            )
+        entry = [time, self._seq, callback, args]
+        self._seq += 1
+        _heappush(self._heap, entry)
 
     def cancel(self, event: Optional[Event]) -> None:
         """Cancel ``event`` if it is not ``None`` and has not yet fired."""
@@ -100,6 +182,11 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of events still in the heap (including cancelled ones)."""
         return len(self._heap)
+
+    @property
+    def free_list_size(self) -> int:
+        """Number of recycled heap entries currently pooled."""
+        return len(self._pool)
 
     # ------------------------------------------------------------------ run
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
@@ -122,24 +209,69 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         self._stopped = False
-        processed_this_run = 0
+        # Hoisted locals: the loop body must not touch ``self`` beyond the
+        # clock store and the stop-flag check it cannot avoid.
+        heap = self._heap
+        pool = self._pool
+        heappop = _heappop
+        pool_limit = _POOL_LIMIT
+        processed = 0
         try:
-            while self._heap and not self._stopped:
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(self._heap)
-                self.now = event.time
-                event.callback(*event.args)
-                self.events_processed += 1
-                processed_this_run += 1
-                if max_events is not None and processed_this_run >= max_events:
-                    break
+            if until is None and max_events is None:
+                # Batched fast loop: no bound checks; the stop flag can only
+                # flip inside a callback, so it is tested after the call.
+                while heap:
+                    entry = heappop(heap)
+                    callback = entry[2]
+                    if callback is None:
+                        # Cancelled: drain into the free list, no re-heapify.
+                        if len(pool) < pool_limit:
+                            pool.append(entry)
+                        continue
+                    self.now = entry[0]
+                    callback(*entry[3])
+                    processed += 1
+                    if self._stopped:
+                        break
+            elif max_events is None:
+                # Until-bounded loop (Network.run): the horizon is a local
+                # float, no other bound checks.
+                while heap:
+                    entry = heap[0]
+                    if entry[2] is None:  # cancelled: drain without running
+                        heappop(heap)
+                        if len(pool) < pool_limit:
+                            pool.append(entry)
+                        continue
+                    if entry[0] > until:
+                        break
+                    heappop(heap)
+                    self.now = entry[0]
+                    entry[2](*entry[3])
+                    processed += 1
+                    if self._stopped:
+                        break
+            else:
+                while heap:
+                    entry = heap[0]
+                    if entry[2] is None:  # cancelled: drain without running
+                        heappop(heap)
+                        if len(pool) < pool_limit:
+                            pool.append(entry)
+                        continue
+                    if until is not None and entry[0] > until:
+                        break
+                    heappop(heap)
+                    self.now = entry[0]
+                    entry[2](*entry[3])
+                    processed += 1
+                    if self._stopped:
+                        break
+                    if processed >= max_events:
+                        break
         finally:
             self._running = False
+            self.events_processed += processed
         if until is not None and not self._stopped and self.now < until:
             self.now = until
         return self.now

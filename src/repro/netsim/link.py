@@ -8,13 +8,24 @@ seconds and is then delivered to the downstream node.
 
 This reproduces the behaviour of a ``tc htb`` shaped veth pair in the paper's
 Mininet setup: a fixed-rate bottleneck with a FIFO buffer in front of it.
+
+Hot-path design: the transmitter is tracked analytically through
+``_busy_until`` instead of a dedicated end-of-serialisation event, so an
+uncongested packet costs a *single* pooled delivery event (scheduled at
+``start + tx + delay`` via :meth:`Simulator.schedule_fast_at`).  Only while
+packets are queued does the link keep one extra "serve" event alive, firing
+exactly when the transmitter frees so queue occupancy (and therefore the
+drop behaviour of the discipline) evolves identically to the classic
+two-event serialise-then-propagate chain.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from ..units import transmission_time
+from heapq import heappush as _link_heappush
+
+from ..units import BITS_PER_BYTE
 from .packet import Packet
 from .queues import DropTailQueue, Queue
 
@@ -24,7 +35,14 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class LinkStats:
-    """Counters kept by each link for utilisation reporting."""
+    """Counters kept by each link for utilisation reporting.
+
+    ``packets_sent``/``bytes_sent``/``busy_time`` are counted when a packet
+    *starts* serialising (the merged delivery event leaves no end-of-
+    serialisation hook), so a run truncated mid-transmission includes the
+    in-flight packet.  ``busy_time`` is kept for inspection; ``utilization``
+    derives busy time from ``bytes_sent`` and the rate instead.
+    """
 
     __slots__ = ("packets_sent", "bytes_sent", "packets_dropped", "busy_time")
 
@@ -35,10 +53,16 @@ class LinkStats:
         self.busy_time = 0.0
 
     def utilization(self, rate_bps: float, duration: float) -> float:
-        """Fraction of ``duration`` the link spent transmitting."""
-        if duration <= 0:
+        """Fraction of ``duration`` the link spent transmitting.
+
+        The busy time is derived from the bytes put on the wire and the link
+        rate, so the figure is exact regardless of how transmissions were
+        scheduled internally.
+        """
+        if duration <= 0 or rate_bps <= 0:
             return 0.0
-        return min(1.0, self.busy_time / duration)
+        busy = self.bytes_sent * BITS_PER_BYTE / rate_bps
+        return min(1.0, busy / duration)
 
 
 class Link:
@@ -80,37 +104,65 @@ class Link:
         self.queue = queue if queue is not None else DropTailQueue()
         self.name = name or f"{src.name}->{dst.name}"
         self.stats = LinkStats()
-        self._busy = False
+        self._busy_until = 0.0
+        self._serving = False
 
     # ------------------------------------------------------------------
+    @property
+    def _busy(self) -> bool:
+        """Whether the transmitter is serialising a packet right now."""
+        return self.sim.now < self._busy_until or self._serving
+
     def send(self, packet: Packet) -> bool:
         """Offer ``packet`` to the link.
 
         Returns False if the packet was dropped by the queue discipline.
         """
-        if self._busy:
-            return self.queue.enqueue(packet, self.sim.now)
-        self._start_transmission(packet)
+        sim = self.sim
+        now = sim.now
+        if now < self._busy_until or self._serving:
+            accepted = self.queue.enqueue(packet, now)
+            if accepted and not self._serving:
+                # First queued packet: arm the serve event for the instant
+                # the transmitter frees (the old end-of-serialisation time).
+                self._serving = True
+                sim.schedule_fast_at(self._busy_until, self._serve_queue)
+            return accepted
+        self._transmit(packet, now)
         return True
 
     # ------------------------------------------------------------------
-    def _start_transmission(self, packet: Packet) -> None:
-        self._busy = True
-        tx_time = transmission_time(packet.size, self.rate_bps)
-        self.stats.busy_time += tx_time
-        self.sim.schedule(tx_time, self._finish_transmission, packet)
+    def _transmit(self, packet: Packet, start: float) -> None:
+        """Start serialising ``packet`` at ``start`` (== sim.now)."""
+        # Inlined transmission_time(); rate is validated positive in __init__.
+        tx_time = packet.size * 8.0 / self.rate_bps
+        tx_end = start + tx_time
+        self._busy_until = tx_end
+        stats = self.stats
+        stats.busy_time += tx_time
+        stats.packets_sent += 1
+        stats.bytes_sent += packet.size
+        # Single merged delivery event: serialisation + propagation.  The
+        # schedule_fast_at body is inlined — this runs once per packet per
+        # hop, and the fire time is >= now by construction (tx > 0,
+        # delay >= 0), so the past-time guard is redundant here.
+        sim = self.sim
+        _link_heappush(sim._heap, [tx_end + self.delay, sim._seq, self._deliver, (packet,)])
+        sim._seq += 1
 
-    def _finish_transmission(self, packet: Packet) -> None:
-        self.stats.packets_sent += 1
-        self.stats.bytes_sent += packet.size
-        # Propagation: deliver to the downstream node after the one-way delay.
-        self.sim.schedule(self.delay, self._deliver, packet)
-        # Serve the next queued packet, if any.
-        next_packet = self.queue.dequeue()
-        if next_packet is not None:
-            self._start_transmission(next_packet)
+    def _serve_queue(self) -> None:
+        """Runs at the instant the transmitter frees while packets are queued."""
+        packet = self.queue.dequeue()
+        if packet is None:  # pragma: no cover - defensive; queue drained elsewhere
+            self._serving = False
+            return
+        self._transmit(packet, self.sim.now)
+        if self.queue.is_empty:
+            self._serving = False
         else:
-            self._busy = False
+            sim = self.sim
+            _link_heappush(sim._heap, [self._busy_until, sim._seq, self._serve_queue, ()])
+            sim._seq += 1
 
     def _deliver(self, packet: Packet) -> None:
         packet.hops += 1

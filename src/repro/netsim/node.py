@@ -56,22 +56,27 @@ class Node:
     # ------------------------------------------------------------------
     def send(self, packet: Packet) -> bool:
         """Originate or forward ``packet`` towards its destination."""
-        if self.routing is None:
+        routing = self.routing
+        if routing is None:
             raise RoutingError(f"node {self.name} has no routing table")
-        next_hop = self.routing.next_hop(self.name, packet)
+        next_hop = routing.next_hop(self.name, packet)
         if next_hop is None:
             self.stats.routing_drops += 1
             return False
-        return self.link_to(next_hop).send(packet)
+        link = self.links.get(next_hop)
+        if link is None:
+            raise RoutingError(f"{self.name} has no link to {next_hop}")
+        return link.send(packet)
 
     def receive(self, packet: Packet, link: Optional["Link"] = None) -> None:
         """Handle a packet arriving from ``link``."""
-        self.stats.received += 1
+        stats = self.stats
+        stats.received += 1
         if packet.dst == self.name:
-            self.stats.delivered += 1
+            stats.delivered += 1
             self._deliver_locally(packet)
             return
-        self.stats.forwarded += 1
+        stats.forwarded += 1
         self.send(packet)
 
     def _deliver_locally(self, packet: Packet) -> None:  # pragma: no cover - overridden

@@ -146,6 +146,8 @@ class TcpSender:
         self._in_fast_recovery = False
         self._recover = 0
         self._rto_event: Optional["Event"] = None
+        self._rto_deadline = 0.0
+        self._rto_fire_at = 0.0
         self._rto_backoff = 1.0
         self._started = False
 
@@ -380,7 +382,14 @@ class TcpSender:
                 self.rtt.update(sample)
 
     def _ack_segments(self, ack: int, now: float) -> None:
-        acked = [seq for seq, info in self._segments.items() if seq + info.length <= ack]
+        # _segments is ordered by seq (snd_nxt only grows, retransmissions
+        # reuse their entry), so a cumulative ACK always covers a prefix and
+        # the scan can stop at the first segment above it.
+        acked = []
+        for seq, info in self._segments.items():
+            if seq + info.length > ack:
+                break
+            acked.append(seq)
         for seq in acked:
             info = self._segments.pop(seq)
             if info.sacked:
@@ -391,16 +400,39 @@ class TcpSender:
 
     # ------------------------------------------------------------------ RTO
     def _arm_rto(self, restart: bool = False) -> None:
+        """(Re-)arm the retransmission timer.
+
+        Re-arming happens on every ACK, so the timer is lazy: the pending
+        event is kept and only the deadline is pushed; :meth:`_fire_rto`
+        re-checks the deadline when the event finally fires.  The event is
+        only re-scheduled in the rare case the new deadline is *earlier*
+        than the pending fire time (e.g. the RTO estimate collapsed).
+        """
         if self._rto_event is not None and not restart:
             return
-        self._cancel_rto()
-        timeout = self.rtt.rto * self._rto_backoff
-        self._rto_event = self.sim.schedule(timeout, self._on_rto)
+        deadline = self.sim.now + self.rtt.rto * self._rto_backoff
+        self._rto_deadline = deadline
+        if self._rto_event is not None:
+            if self._rto_fire_at <= deadline:
+                return
+            self._rto_event.cancel()
+        self._rto_event = self.sim.schedule_at(deadline, self._fire_rto)
+        self._rto_fire_at = deadline
 
     def _cancel_rto(self) -> None:
         if self._rto_event is not None:
             self._rto_event.cancel()
             self._rto_event = None
+
+    def _fire_rto(self) -> None:
+        deadline = self._rto_deadline
+        now = self.sim.now
+        if now < deadline:
+            # The deadline was pushed by ACKs since this event was armed.
+            self._rto_event = self.sim.schedule_at(deadline, self._fire_rto)
+            self._rto_fire_at = deadline
+            return
+        self._on_rto()
 
     def _on_rto(self) -> None:
         self._rto_event = None

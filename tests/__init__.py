@@ -1,0 +1,5 @@
+"""Test suite package.
+
+The package marker lets test modules import shared helpers with
+``from .conftest import ...`` under plain ``python -m pytest``.
+"""

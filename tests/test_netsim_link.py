@@ -106,7 +106,8 @@ class TestLinkUtilization:
 
     def test_utilization_clamped_to_one(self, link_setup):
         _, _, _, link = link_setup
-        link.stats.busy_time = 10.0
+        # 10 seconds worth of bytes offered against a 1 second duration.
+        link.stats.bytes_sent = int(link.rate_bps * 10 / 8)
         assert link.stats.utilization(link.rate_bps, 1.0) == 1.0
 
     def test_zero_duration_utilization(self, link_setup):
