@@ -1,0 +1,70 @@
+"""EXT-FAIR: multi-flow competition scenarios and fairness metrics.
+
+The fairness claims behind coupled congestion control (RFC 6356: "do no harm
+-- an MPTCP connection should not take more capacity from a shared bottleneck
+than a single TCP flow") are not measured in the paper, which runs one
+connection at a time.  This extension benchmark runs the named competition
+scenarios through the multi-flow runner and records the bottleneck-share
+ratio of coupled (LIA) versus uncoupled (CUBIC) MPTCP against a single TCP
+flow, plus the split between two competing MPTCP connections.
+"""
+
+from conftest import report
+
+from repro.experiments.multiflow import run_multiflow
+from repro.experiments.scenarios import (
+    mptcp_vs_tcp_shared_bottleneck,
+    two_mptcp_competition,
+)
+from repro.measure.report import comparison_row
+
+
+def run_competitions():
+    results = {}
+    for cc in ("lia", "cubic"):
+        results[cc] = run_multiflow(
+            mptcp_vs_tcp_shared_bottleneck(congestion_control=cc, duration=4.0)
+        )
+    results["two-mptcp"] = run_multiflow(two_mptcp_competition(duration=4.0))
+    return results
+
+
+def test_fairness_competition(benchmark):
+    results = benchmark.pedantic(run_competitions, rounds=1, iterations=1)
+
+    ratios = {
+        cc: results[cc].fairness.mptcp_tcp_ratio for cc in ("lia", "cubic")
+    }
+    two = results["two-mptcp"]
+
+    # Both runs keep the bottleneck busy, and MPTCP lands between one fair
+    # share and its two-subflow upper bound (short runs are too noisy for a
+    # strict coupled-vs-uncoupled ordering, so only the envelope is pinned).
+    for cc in ("lia", "cubic"):
+        assert results[cc].fairness.aggregate_mbps > 30.0
+        assert ratios[cc] is not None
+        assert 0.5 < ratios[cc] < 3.0
+    # Two symmetric MPTCP connections split the bottleneck nearly evenly.
+    assert two.jain_index > 0.9
+
+    rows = [
+        comparison_row(
+            "EXT-FAIR",
+            "LIA-MPTCP / TCP bottleneck-share ratio",
+            "~1 (RFC 6356 design goal)",
+            round(ratios["lia"], 3),
+        ),
+        comparison_row(
+            "EXT-FAIR",
+            "uncoupled CUBIC-MPTCP / TCP bottleneck-share ratio",
+            "~n_subflows (no coupling)",
+            round(ratios["cubic"], 3),
+        ),
+        comparison_row(
+            "EXT-FAIR",
+            "two-MPTCP Jain index",
+            "~1 (symmetric competition)",
+            round(two.jain_index, 4),
+        ),
+    ]
+    report("EXT-FAIR (multi-flow competition fairness)", rows)

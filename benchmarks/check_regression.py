@@ -1,0 +1,72 @@
+"""Benchmark smoke: guard against regressions of the recorded substrate timings.
+
+Re-times the engine and packet-pipeline hot paths and compares the fresh
+events-per-second figures against the committed ``BENCH_engine.json``.  CI
+machines differ wildly from the machine that recorded the baseline, so the
+check only trips when a timing falls below ``baseline / BENCH_TOLERANCE``
+(default 4x) -- a catastrophic regression, not noise.
+
+Usage: ``python benchmarks/check_regression.py`` (exit code 1 on regression).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+_HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE))
+sys.path.insert(0, str(_HERE.parent / "src"))
+
+BASELINE_PATH = _HERE / "BENCH_engine.json"
+TOLERANCE = float(os.environ.get("BENCH_TOLERANCE", "4.0"))
+
+
+def _best_rate(fn, *, rounds: int = 3) -> float:
+    """Best events-per-second over ``rounds`` runs (min-time estimator)."""
+    best = 0.0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        events = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, events / elapsed)
+    return best
+
+
+def main() -> int:
+    from bench_netsim_engine import pump_events, pump_events_with_handles, single_tcp_second
+
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))["timings"]
+    fresh = {
+        "engine_fast_path_events_per_sec": _best_rate(pump_events),
+        "engine_handle_path_events_per_sec": _best_rate(pump_events_with_handles),
+        "tcp_pipeline_events_per_sec": _best_rate(single_tcp_second, rounds=2),
+    }
+
+    failed = []
+    print(f"benchmark smoke vs {BASELINE_PATH.name} (tolerance {TOLERANCE:g}x)")
+    for key, recorded in sorted(baseline.items()):
+        measured = fresh.get(key)
+        if measured is None:
+            continue
+        floor = recorded / TOLERANCE
+        status = "ok" if measured >= floor else "REGRESSION"
+        if measured < floor:
+            failed.append(key)
+        print(
+            f"  {key}: {measured:>12.0f} ev/s  (baseline {recorded:.0f}, floor {floor:.0f})  {status}"
+        )
+
+    if failed:
+        print(f"\nFAILED: {', '.join(failed)} below {TOLERANCE:g}x tolerance", file=sys.stderr)
+        return 1
+    print("\nall substrate timings within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,11 +36,15 @@ from .errors import (
 from .experiments import (
     ExperimentConfig,
     ExperimentResult,
+    FlowSpec,
+    MultiFlowConfig,
+    MultiFlowResult,
     fig2a_cubic,
     fig2b_olia,
     fig2c_fine,
     paper_experiment,
     run_experiment,
+    run_multiflow,
 )
 from .model import (
     Path,
@@ -65,8 +69,11 @@ __all__ = [
     "ConfigurationError",
     "ExperimentConfig",
     "ExperimentResult",
+    "FlowSpec",
     "ModelError",
     "MptcpConnection",
+    "MultiFlowConfig",
+    "MultiFlowResult",
     "Network",
     "PAPER_DEFAULT_PATH_INDEX",
     "PAPER_OPTIMAL_RATES",
@@ -97,4 +104,5 @@ __all__ = [
     "paper_paths",
     "paper_scenario",
     "run_experiment",
+    "run_multiflow",
 ]

@@ -8,6 +8,8 @@ Sub-commands:
 * ``compare``  -- run the congestion-control comparison (RES-CC) and print a
                   summary table.
 * ``sweep``    -- run the OLIA default-path sweep (RES-OLIA-DEFAULT).
+* ``fairness`` -- run a named multi-flow competition scenario and print the
+                  per-flow throughput plus fairness report.
 """
 
 from __future__ import annotations
@@ -21,7 +23,13 @@ from . import __version__
 from .core.coupled import MULTIPATH_ALGORITHMS, PAPER_ALGORITHMS
 from .experiments.ascii_plot import plot_figure
 from .experiments.figures import fig2a_cubic, fig2b_olia, fig2c_fine, figure_with_algorithm
-from .experiments.scenarios import cc_comparison, olia_default_path_sweep, summarize_results
+from .experiments.multiflow import run_multiflow
+from .experiments.scenarios import (
+    COMPETITION_SCENARIOS,
+    cc_comparison,
+    olia_default_path_sweep,
+    summarize_results,
+)
 from .measure.report import format_table
 from .model.bottleneck import build_constraints
 from .model.greedy import greedy_fill
@@ -57,6 +65,20 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cc", default="olia", choices=sorted(MULTIPATH_ALGORITHMS))
     sweep.add_argument("--duration", type=float, default=4.0)
     sweep.add_argument("--json", action="store_true")
+
+    fairness = subparsers.add_parser(
+        "fairness", help="run a multi-flow competition scenario and report fairness"
+    )
+    fairness.add_argument("scenario", choices=sorted(COMPETITION_SCENARIOS))
+    fairness.add_argument(
+        "--cc",
+        default="lia",
+        choices=sorted(MULTIPATH_ALGORITHMS),
+        help="coupled congestion control of the MPTCP connection(s)",
+    )
+    fairness.add_argument("--duration", type=float, default=4.0)
+    fairness.add_argument("--bottleneck-mbps", type=float, default=50.0)
+    fairness.add_argument("--json", action="store_true")
     return parser
 
 
@@ -156,6 +178,47 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_fairness(args: argparse.Namespace) -> int:
+    builder = COMPETITION_SCENARIOS[args.scenario]
+    kwargs = {"duration": args.duration, "bottleneck_mbps": args.bottleneck_mbps}
+    if args.scenario == "two_mptcp_competition":
+        kwargs["congestion_control_a"] = args.cc
+        kwargs["congestion_control_b"] = args.cc
+    else:
+        kwargs["congestion_control"] = args.cc
+    result = run_multiflow(builder(**kwargs))
+
+    if args.json:
+        print(json.dumps(result.summary(), indent=2))
+        return 0
+
+    fairness = result.fairness
+    rows = [
+        [
+            flow.name,
+            flow.kind,
+            f"{flow.mean_mbps:.2f}",
+            f"{fairness.shares.get(flow.name, 0.0):.3f}",
+            "-"
+            if fairness.settle_times.get(flow.name) is None
+            else f"{fairness.settle_times[flow.name]:.1f}",
+            flow.retransmissions,
+        ]
+        for flow in result.flows
+    ]
+    print(format_table(["flow", "kind", "mean mbps", "share", "settle s", "retx"], rows))
+    print()
+    print(f"Jain's fairness index: {fairness.jain_index:.4f}")
+    if fairness.mptcp_tcp_ratio is not None:
+        print(f"MPTCP / TCP bottleneck-share ratio: {fairness.mptcp_tcp_ratio:.3f}")
+    if fairness.bottleneck_utilization is not None:
+        print(
+            f"Bottleneck utilisation: {fairness.bottleneck_utilization:.3f} "
+            f"of {fairness.bottleneck_capacity_mbps:g} Mbps"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (also exposed as the ``mptcp-overlap`` console script)."""
     parser = _build_parser()
@@ -165,6 +228,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _command_figure,
         "compare": _command_compare,
         "sweep": _command_sweep,
+        "fairness": _command_fairness,
     }
     return handlers[args.command](args)
 

@@ -51,5 +51,7 @@ class WVegasCongestionControl(CoupledCongestionControl):
         # Otherwise the backlog is on target: hold the window.
 
     def _loss_decrease(self, now: float) -> None:
-        # Delay-based, but it must still back off on real loss.
-        self.cwnd = self.cwnd / 2.0
+        # Delay-based, but it must still back off on real loss.  Clamp to one
+        # segment like the congestion-avoidance decrease: repeated losses must
+        # never drive the window below the minimum sending unit.
+        self.cwnd = max(1.0, self.cwnd / 2.0)

@@ -42,6 +42,16 @@ def _is_unconstrained(allocator) -> bool:
     return allocator.send_buffer_bytes is None and allocator.total_bytes is None
 
 
+def _subflow_can_send(subflow) -> bool:
+    """True when the subflow is established and has window space for a segment."""
+    sender = subflow.sender
+    return (
+        sender is not None
+        and sender.started
+        and sender.flight_size + sender.mss <= sender.effective_window
+    )
+
+
 class MinRttScheduler(Scheduler):
     """Lowest-SRTT-first scheduler (the Linux MPTCP default).
 
@@ -77,7 +87,13 @@ class MinRttScheduler(Scheduler):
 
 
 class RoundRobinScheduler(Scheduler):
-    """Strict rotation across subflows when data is scarce."""
+    """Rotation across subflows when data is scarce.
+
+    The rotation skips subflows that cannot currently send (window-limited or
+    not yet established): a stalled subflow at the head of the rotation must
+    not block every other subflow until it recovers (head-of-line stall).  It
+    regains its turn as soon as it has window space again.
+    """
 
     name = "roundrobin"
 
@@ -91,12 +107,22 @@ class RoundRobinScheduler(Scheduler):
         subflows = connection.subflows
         if not subflows:
             return None
-        expected = subflows[self._next_index % len(subflows)]
-        if expected is not subflow:
+        count = len(subflows)
+        # The turn belongs to the first subflow in rotation order that is able
+        # to send.  The requester itself is always eligible: it asked because
+        # it has free window.
+        offset = 0
+        chosen = None
+        for offset in range(count):
+            candidate = subflows[(self._next_index + offset) % count]
+            if candidate is subflow or _subflow_can_send(candidate):
+                chosen = candidate
+                break
+        if chosen is not subflow:
             return None
         grant = allocator.allocate(max_bytes)
         if grant is not None:
-            self._next_index = (self._next_index + 1) % len(subflows)
+            self._next_index = (self._next_index + offset + 1) % count
         return grant
 
 

@@ -9,32 +9,52 @@ from .harness import (
     run_experiment,
     run_scenarios_parallel,
 )
+from .multiflow import (
+    FlowResult,
+    FlowSpec,
+    MultiFlowConfig,
+    MultiFlowResult,
+    run_multiflow,
+)
 from .scenarios import (
+    COMPETITION_SCENARIOS,
     cc_comparison,
+    cross_traffic_perturbation,
+    mptcp_vs_tcp_shared_bottleneck,
     olia_default_path_sweep,
     queue_size_sweep,
     scheduler_comparison,
     summarize_results,
+    two_mptcp_competition,
     variant_comparison,
 )
 
 __all__ = [
+    "COMPETITION_SCENARIOS",
     "ExperimentConfig",
     "ExperimentResult",
     "FigureData",
+    "FlowResult",
+    "FlowSpec",
+    "MultiFlowConfig",
+    "MultiFlowResult",
     "ascii_chart",
     "cc_comparison",
+    "cross_traffic_perturbation",
     "fig2a_cubic",
     "fig2b_olia",
     "fig2c_fine",
     "figure_with_algorithm",
+    "mptcp_vs_tcp_shared_bottleneck",
     "olia_default_path_sweep",
     "paper_experiment",
     "plot_figure",
     "queue_size_sweep",
     "run_experiment",
+    "run_multiflow",
     "run_scenarios_parallel",
     "scheduler_comparison",
     "summarize_results",
+    "two_mptcp_competition",
     "variant_comparison",
 ]

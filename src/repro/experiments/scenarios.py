@@ -8,15 +8,28 @@
 * :func:`scheduler_comparison` -- ABL-SCHED: the data-scheduler ablation.
 * :func:`queue_size_sweep` -- ablation over the bottleneck buffer size.
 * :func:`variant_comparison` -- both capacity labellings of the topology.
+
+Multi-flow competition scenarios (the fairness claims behind coupled
+congestion control, run through :func:`repro.experiments.multiflow.run_multiflow`):
+
+* :func:`mptcp_vs_tcp_shared_bottleneck` -- one MPTCP connection and one
+  single-path TCP flow share a bottleneck; a TCP-fair coupled controller
+  should split it evenly.
+* :func:`two_mptcp_competition` -- two MPTCP connections compete on a
+  common bottleneck.
+* :func:`cross_traffic_perturbation` -- bursty on-off UDP cross-traffic
+  perturbs an MPTCP connection's rate search on a shared bottleneck.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..core.coupled import PAPER_ALGORITHMS
+from ..topologies.generators import shared_bottleneck
 from ..topologies.paper import PAPER_DEFAULT_PATH_INDEX, paper_scenario
 from .harness import ExperimentConfig, ExperimentResult, paper_experiment, run_experiment
+from .multiflow import FlowSpec, MultiFlowConfig
 
 
 def cc_comparison(
@@ -126,3 +139,150 @@ def variant_comparison(
 def summarize_results(results: Dict[str, ExperimentResult]) -> List[dict]:
     """One summary dictionary per run (used by benchmarks and the CLI)."""
     return [result.summary() | {"key": str(key)} for key, result in results.items()]
+
+
+# ---------------------------------------------------------------- competition
+def mptcp_vs_tcp_shared_bottleneck(
+    *,
+    congestion_control: str = "lia",
+    n_paths: int = 2,
+    bottleneck_mbps: float = 50.0,
+    access_mbps: float = 100.0,
+    duration: float = 4.0,
+    sampling_interval: float = 0.1,
+    warmup: float = 0.0,
+) -> MultiFlowConfig:
+    """MPTCP vs a single TCP flow on one shared bottleneck.
+
+    The central fairness question of coupled congestion control: the MPTCP
+    connection opens ``n_paths`` subflows that all cross the bottleneck and
+    competes against one single-path TCP flow on its own access path.  With a
+    perfectly TCP-fair coupled controller the bottleneck splits evenly
+    (``mptcp_tcp_ratio`` ~ 1); with uncoupled per-subflow control MPTCP takes
+    roughly ``n_paths`` shares.
+    """
+    topology, paths = shared_bottleneck(
+        n_paths + 1, bottleneck_mbps, access_mbps
+    )
+    flows = [
+        FlowSpec(
+            kind="mptcp",
+            name="mptcp",
+            paths=list(paths)[:n_paths],
+            congestion_control=congestion_control,
+        ),
+        FlowSpec(kind="tcp", name="tcp", path_index=n_paths),
+    ]
+    return MultiFlowConfig(
+        name=f"mptcp-vs-tcp-{congestion_control}",
+        scenario=(topology, paths),
+        flows=flows,
+        duration=duration,
+        sampling_interval=sampling_interval,
+        warmup=warmup,
+        bottleneck_link=("agg", "core"),
+    )
+
+
+def two_mptcp_competition(
+    *,
+    congestion_control_a: str = "lia",
+    congestion_control_b: str = "lia",
+    subflows_each: int = 2,
+    bottleneck_mbps: float = 50.0,
+    access_mbps: float = 100.0,
+    duration: float = 4.0,
+    sampling_interval: float = 0.1,
+    warmup: float = 0.0,
+) -> MultiFlowConfig:
+    """Two MPTCP connections compete for one shared bottleneck.
+
+    Each connection gets its own disjoint set of access paths; only the
+    bottleneck is shared.  Symmetric configurations should converge towards
+    an even split (Jain's index near 1 over the two connections).
+    """
+    topology, paths = shared_bottleneck(
+        2 * subflows_each, bottleneck_mbps, access_mbps
+    )
+    path_list = list(paths)
+    flows = [
+        FlowSpec(
+            kind="mptcp",
+            name="mptcp-a",
+            paths=path_list[:subflows_each],
+            congestion_control=congestion_control_a,
+        ),
+        FlowSpec(
+            kind="mptcp",
+            name="mptcp-b",
+            paths=path_list[subflows_each:],
+            congestion_control=congestion_control_b,
+        ),
+    ]
+    return MultiFlowConfig(
+        name=f"two-mptcp-{congestion_control_a}-vs-{congestion_control_b}",
+        scenario=(topology, paths),
+        flows=flows,
+        duration=duration,
+        sampling_interval=sampling_interval,
+        warmup=warmup,
+        bottleneck_link=("agg", "core"),
+    )
+
+
+def cross_traffic_perturbation(
+    *,
+    congestion_control: str = "lia",
+    n_paths: int = 2,
+    bottleneck_mbps: float = 50.0,
+    access_mbps: float = 100.0,
+    cross_rate_fraction: float = 0.5,
+    on_duration: float = 0.5,
+    off_duration: float = 0.5,
+    duration: float = 4.0,
+    sampling_interval: float = 0.1,
+    warmup: float = 0.0,
+) -> MultiFlowConfig:
+    """Bursty on-off cross-traffic perturbs MPTCP on a shared bottleneck.
+
+    A non-responsive on-off UDP source periodically claims
+    ``cross_rate_fraction`` of the bottleneck, forcing the coupled controller
+    to repeatedly re-search for the remaining capacity (the rate-adaptation
+    scenario of telehaptic/SFC-style cross-traffic studies).
+    """
+    topology, paths = shared_bottleneck(
+        n_paths + 1, bottleneck_mbps, access_mbps
+    )
+    flows = [
+        FlowSpec(
+            kind="mptcp",
+            name="mptcp",
+            paths=list(paths)[:n_paths],
+            congestion_control=congestion_control,
+        ),
+        FlowSpec(
+            kind="onoff",
+            name="cross-traffic",
+            path_index=n_paths,
+            rate_mbps=cross_rate_fraction * bottleneck_mbps,
+            on_duration=on_duration,
+            off_duration=off_duration,
+        ),
+    ]
+    return MultiFlowConfig(
+        name=f"cross-traffic-{congestion_control}",
+        scenario=(topology, paths),
+        flows=flows,
+        duration=duration,
+        sampling_interval=sampling_interval,
+        warmup=warmup,
+        bottleneck_link=("agg", "core"),
+    )
+
+
+#: Named competition scenarios exposed through the CLI (``fairness`` command).
+COMPETITION_SCENARIOS: Dict[str, Callable[..., MultiFlowConfig]] = {
+    "mptcp_vs_tcp_shared_bottleneck": mptcp_vs_tcp_shared_bottleneck,
+    "two_mptcp_competition": two_mptcp_competition,
+    "cross_traffic_perturbation": cross_traffic_perturbation,
+}

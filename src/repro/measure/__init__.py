@@ -7,6 +7,14 @@ from .convergence import (
     sustained_time_to_fraction,
     time_to_fraction,
 )
+from .fairness import (
+    FairnessReport,
+    analyze_fairness,
+    bottleneck_share,
+    jains_index,
+    mptcp_vs_tcp_ratio,
+    settle_time,
+)
 from .flowstats import ConnectionStats, SubflowStats, connection_stats, subflow_stats
 from .report import comparison_row, format_comparison, format_table, print_section
 from .sampling import (
@@ -20,11 +28,17 @@ from .sampling import (
 __all__ = [
     "ConnectionStats",
     "ConvergenceReport",
+    "FairnessReport",
     "SubflowStats",
     "TimeSeries",
     "analyze_convergence",
+    "analyze_fairness",
+    "bottleneck_share",
     "comparison_row",
     "connection_stats",
+    "jains_index",
+    "mptcp_vs_tcp_ratio",
+    "settle_time",
     "format_comparison",
     "format_table",
     "per_tag_timeseries",

@@ -100,9 +100,18 @@ class PacketCapture:
     :meth:`repro.netsim.network.Network.attach_capture`.
     """
 
-    def __init__(self, name: str = "capture", *, data_only: bool = False) -> None:
+    def __init__(
+        self,
+        name: str = "capture",
+        *,
+        data_only: bool = False,
+        flow_id: Optional[int] = None,
+    ) -> None:
         self.name = name
         self.data_only = data_only
+        #: When set, only packets of this flow are recorded (a per-flow tap,
+        #: the equivalent of a tshark capture filter on one connection).
+        self.flow_id = flow_id
         self._time = array("d")
         self._size = array("q")
         self._payload = array("q")
@@ -132,6 +141,8 @@ class PacketCapture:
         """Capture tap compatible with :meth:`Host.add_capture`."""
         is_ack = packet.is_ack
         if is_ack and self.data_only:
+            return
+        if self.flow_id is not None and packet.flow_id != self.flow_id:
             return
         a = self._appenders
         a[0](now)

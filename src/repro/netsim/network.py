@@ -51,7 +51,7 @@ class Network:
         self.routing = routing
         self.nodes: Dict[str, Node] = {}
         self.links: Dict[Tuple[str, str], Link] = {}
-        self._captures: Dict[str, PacketCapture] = {}
+        self._captures: Dict[Tuple[str, Optional[int]], PacketCapture] = {}
         self._build()
 
     # ------------------------------------------------------------------ build
@@ -111,18 +111,34 @@ class Network:
         self.routing.install_path(list(nodes), tag, as_default=as_default)
 
     # ------------------------------------------------------------------ capture
-    def attach_capture(self, host_name: str, *, data_only: bool = False) -> PacketCapture:
-        """Attach (or return the existing) tshark-like capture at ``host_name``."""
-        if host_name in self._captures:
-            return self._captures[host_name]
-        capture = PacketCapture(name=f"{host_name}-capture", data_only=data_only)
+    def attach_capture(
+        self,
+        host_name: str,
+        *,
+        data_only: bool = False,
+        flow_id: Optional[int] = None,
+    ) -> PacketCapture:
+        """Attach (or return the existing) tshark-like capture at ``host_name``.
+
+        With ``flow_id`` the capture records only that flow's packets -- a
+        per-flow tap, one per competing connection in multi-flow scenarios.
+        Captures are cached per ``(host, flow_id)``, so asking again returns
+        the existing instance.
+        """
+        key = (host_name, flow_id)
+        if key in self._captures:
+            return self._captures[key]
+        suffix = "-capture" if flow_id is None else f"-flow{flow_id}-capture"
+        capture = PacketCapture(
+            name=f"{host_name}{suffix}", data_only=data_only, flow_id=flow_id
+        )
         self.host(host_name).add_capture(capture.on_packet)
-        self._captures[host_name] = capture
+        self._captures[key] = capture
         return capture
 
-    def capture(self, host_name: str) -> PacketCapture:
+    def capture(self, host_name: str, *, flow_id: Optional[int] = None) -> PacketCapture:
         try:
-            return self._captures[host_name]
+            return self._captures[(host_name, flow_id)]
         except KeyError:
             raise TopologyError(f"no capture attached at {host_name!r}") from None
 

@@ -170,6 +170,11 @@ class TcpSender:
             self._try_send()
 
     @property
+    def started(self) -> bool:
+        """True once :meth:`start` has run (the subflow is established)."""
+        return self._started
+
+    @property
     def flight_size(self) -> int:
         """Bytes sent but not cumulatively acknowledged."""
         return self.snd_nxt - self.snd_una

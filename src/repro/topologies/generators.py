@@ -129,10 +129,12 @@ def parking_lot(
     """The parking-lot chain: a long path overlapping several short hops.
 
     Path 1 traverses the whole chain; path ``i > 1`` enters at hop ``i - 1``
-    and leaves at hop ``i``, so the long path shares every segment.  Because
-    all paths here connect the same source and destination pair (as MPTCP
-    requires), the short paths are modelled as detours that bypass all
-    segments except their own.
+    and leaves at hop ``i``, so it crosses exactly the segment
+    ``chain[i-1] -> chain[i]`` and nothing else of the chain, while the long
+    path shares every segment.  Because all paths here connect the same
+    source and destination pair (as MPTCP requires), each short path uses a
+    private entry and exit detour (over-provisioned so that only its own
+    chain segment constrains it).
     """
     if segments < 2:
         raise ConfigurationError("need at least two segments")
@@ -149,11 +151,14 @@ def parking_lot(
 
     paths: List[Path] = [Path(["s", *chain, "d"], tag=1, name="Path 1 (long)")]
     for index in range(1, segments):
-        bypass = f"b{index}"
-        topology.add_router(bypass)
-        topology.add_link("s", bypass, segment_mbps * 4, delay, queue_packets)
-        topology.add_link(bypass, chain[index], segment_mbps * 4, delay, queue_packets)
-        nodes = ["s", bypass] + chain[index:] + ["d"]
+        entry, exit_node = f"b{index}", f"e{index}"
+        topology.add_router(entry)
+        topology.add_router(exit_node)
+        topology.add_link("s", entry, segment_mbps * 4, delay, queue_packets)
+        topology.add_link(entry, chain[index], segment_mbps * 4, delay, queue_packets)
+        topology.add_link(chain[index + 1], exit_node, segment_mbps * 4, delay, queue_packets)
+        topology.add_link(exit_node, "d", segment_mbps * 4, delay, queue_packets)
+        nodes = ["s", entry, chain[index], chain[index + 1], exit_node, "d"]
         paths.append(Path(nodes, tag=index + 1, name=f"Path {index + 1}"))
     return topology, PathSet(paths)
 

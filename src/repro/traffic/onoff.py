@@ -29,6 +29,7 @@ class OnOffSource:
         off_duration: float = 0.5,
         tag: Optional[int] = None,
         packet_size: int = 1400,
+        flow_id: Optional[int] = None,
     ) -> None:
         if on_duration <= 0 or off_duration < 0:
             raise ConfigurationError("on_duration must be positive and off_duration non-negative")
@@ -36,7 +37,7 @@ class OnOffSource:
         self.on_duration = on_duration
         self.off_duration = off_duration
         self._cbr = UdpConstantBitRate(
-            network, src, dst, rate_mbps, tag=tag, packet_size=packet_size
+            network, src, dst, rate_mbps, tag=tag, packet_size=packet_size, flow_id=flow_id
         )
         self._stop_at: Optional[float] = None
 
@@ -44,6 +45,10 @@ class OnOffSource:
     @property
     def sink(self):
         return self._cbr.sink
+
+    @property
+    def flow_id(self) -> int:
+        return self._cbr.flow_id
 
     @property
     def packets_sent(self) -> int:

@@ -238,6 +238,16 @@ class TestWVegas:
         members[0].on_loss(now=0.1)
         assert members[0].cwnd == pytest.approx(15.0)
 
+    def test_repeated_losses_never_drop_below_one_segment(self):
+        # Regression: the loss decrease had no floor, so a loss burst could
+        # drive cwnd below one segment (and asymptotically to zero).
+        _, members = make_group("wvegas", 2)
+        cc = members[0]
+        cc.cwnd = 1.2
+        for _ in range(10):
+            cc._loss_decrease(now=0.1)
+        assert cc.cwnd >= 1.0
+
 
 class TestUncoupled:
     def test_uncoupled_cubic_ignores_siblings(self):

@@ -34,7 +34,7 @@ class TestSchedulerFactory:
             make_scheduler("blest")
 
 
-def build_connection(scheduler="minrtt", send_buffer_bytes=None, cc="cubic"):
+def build_connection(scheduler="minrtt", send_buffer_bytes=None, cc="cubic", started=True):
     topology, paths = make_two_path_scenario()
     network = Network(topology)
     connection = MptcpConnection(
@@ -46,6 +46,12 @@ def build_connection(scheduler="minrtt", send_buffer_bytes=None, cc="cubic"):
         scheduler=scheduler,
         send_buffer_bytes=send_buffer_bytes,
     )
+    if started:
+        # Mark the senders established without transmitting anything (a real
+        # run calls sender.start(), which would immediately pull data through
+        # the scheduler and perturb these allocation unit tests).
+        for subflow in connection.subflows:
+            subflow.sender._started = True
     return network, connection
 
 
@@ -74,6 +80,65 @@ class TestSchedulerAllocation:
         # After the first grant the pointer moved to the second subflow.
         assert connection.scheduler.allocate(connection, first, 700) is None
         assert connection.scheduler.allocate(connection, second, 700) is not None
+
+    def test_roundrobin_skips_window_limited_subflow(self):
+        # Regression: a window-limited subflow at the head of the rotation
+        # used to refuse every other subflow until it recovered, stalling
+        # the whole connection (head-of-line blocking).
+        _, connection = build_connection("roundrobin", send_buffer_bytes=4200)
+        first, second = connection.subflows
+        # Fill the first subflow's congestion window: it cannot send.
+        first.sender.snd_nxt = first.sender.snd_una + int(first.sender.effective_window)
+        assert first.sender.flight_size + first.sender.mss > first.sender.effective_window
+        # The second subflow is served even though the pointer is on the first.
+        assert connection.scheduler.allocate(connection, second, 700) is not None
+        # Repeatedly: the stalled subflow never starves the connection.
+        connection.allocator.on_acked(700)
+        assert connection.scheduler.allocate(connection, second, 700) is not None
+
+    def test_roundrobin_stalled_subflow_regains_turn(self):
+        _, connection = build_connection("roundrobin", send_buffer_bytes=4200)
+        first, second = connection.subflows
+        first.sender.snd_nxt = first.sender.snd_una + int(first.sender.effective_window)
+        assert connection.scheduler.allocate(connection, second, 700) is not None
+        # Window opens again: the rotation comes back to the first subflow.
+        first.sender.snd_nxt = first.sender.snd_una
+        connection.allocator.on_acked(700)
+        assert connection.scheduler.allocate(connection, second, 700) is None
+        assert connection.scheduler.allocate(connection, first, 700) is not None
+
+    def test_roundrobin_skips_not_yet_established_subflow(self):
+        # A subflow that has not joined yet (join_delay) must not hold the
+        # rotation: it has no window limit but cannot send either.
+        _, connection = build_connection("roundrobin", send_buffer_bytes=4200)
+        first, second = connection.subflows
+        second.sender._started = False
+        assert connection.scheduler.allocate(connection, first, 700) is not None
+        connection.allocator.on_acked(700)
+        # The pointer moved to the unjoined subflow; the established one is
+        # still served instead of the connection stalling.
+        assert connection.scheduler.allocate(connection, first, 700) is not None
+
+    def test_roundrobin_join_delay_does_not_stall_transfer(self):
+        # End-to-end regression: with a bounded send buffer and a late
+        # MP_JOIN, the round-robin rotation used to park on the unjoined
+        # subflow and deliver nothing until it came up.
+        topology, paths = make_two_path_scenario()
+        network = Network(topology)
+        connection = MptcpConnection(
+            network,
+            "s",
+            "d",
+            paths,
+            congestion_control="cubic",
+            scheduler="roundrobin",
+            send_buffer_bytes=64_000,
+            join_delay=1.0,
+        )
+        connection.start(at=0.0)
+        network.run(1.0)
+        # Well before the second subflow joins, the first one is moving data.
+        assert connection.bytes_delivered > 100_000
 
     def test_redundant_duplicates_the_stream(self):
         _, connection = build_connection("redundant")

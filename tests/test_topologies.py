@@ -116,6 +116,32 @@ class TestGenerators:
         for path in paths:
             topology.validate_path(path.nodes)
 
+    def test_parking_lot_short_paths_cross_exactly_their_own_segment(self):
+        # Regression: short paths used to traverse every downstream segment
+        # (chain[index:]) instead of only their own, contradicting the
+        # classic parking-lot construction promised by the docstring.
+        segments = 4
+        topology, paths = parking_lot(segments=segments, segment_mbps=40.0)
+        long_path = paths[0]
+        chain = [f"c{i}" for i in range(segments + 1)]
+        for index, short in enumerate(list(paths)[1:], start=1):
+            shared = short.shared_links(long_path)
+            assert shared == [(chain[index], chain[index + 1])]
+        # Short paths are pairwise link-disjoint: each one has a private
+        # detour and only its own chain segment.
+        shorts = list(paths)[1:]
+        for i in range(len(shorts)):
+            for j in range(i + 1, len(shorts)):
+                assert not shorts[i].shares_link_with(shorts[j])
+
+    def test_parking_lot_optimum_fills_every_segment(self):
+        topology, paths = parking_lot(segments=3, segment_mbps=40.0)
+        system = build_constraints(topology, paths)
+        # The short paths can saturate their segments while the long path
+        # stays off the chain: the optimum is one segment capacity per
+        # short path.
+        assert max_total_throughput(system).total == pytest.approx(80.0)
+
     def test_parking_lot_validation(self):
         with pytest.raises(ConfigurationError):
             parking_lot(segments=1)
