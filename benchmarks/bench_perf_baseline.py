@@ -1,9 +1,10 @@
-"""Perf-regression guard: machine-readable substrate timings.
+"""Perf-regression guard: machine-readable substrate and protocol timings.
 
-Times the engine and packet-pipeline hot paths with ``time.perf_counter``
-and writes the events-per-second figures to ``BENCH_engine.json`` next to
-this file, so future changes can compare against the recorded trajectory
-(regenerate on the same machine before and after a change).
+Times the engine, the packet-pipeline and the multi-flow fairness hot paths
+with ``time.perf_counter`` and writes the events-per-second figures to
+``BENCH_engine.json`` next to this file, so future changes can compare
+against the recorded trajectory (regenerate on the same machine before and
+after a change).
 
 Runs as a plain pytest test (no ``benchmark`` fixture), so a bare
 ``pytest benchmarks/bench_perf_baseline.py`` refreshes the file.
@@ -15,12 +16,26 @@ import platform
 import sys
 import time
 
-from bench_netsim_engine import pump_events, pump_events_with_handles, single_tcp_second
+from bench_netsim_engine import (
+    multiflow_fairness_second,
+    pump_events,
+    pump_events_with_handles,
+    single_tcp_second,
+)
 
 RESULTS_PATH = pathlib.Path(__file__).with_name("BENCH_engine.json")
 
+#: metric name -> (workload callable, timing rounds).  check_regression.py
+#: re-times exactly these, so adding a metric here automatically guards it.
+BENCH_REGISTRY = {
+    "engine_fast_path_events_per_sec": (pump_events, 5),
+    "engine_handle_path_events_per_sec": (pump_events_with_handles, 5),
+    "tcp_pipeline_events_per_sec": (single_tcp_second, 3),
+    "multiflow_fairness_events_per_sec": (multiflow_fairness_second, 3),
+}
 
-def _best_rate(fn, *, rounds: int = 5) -> float:
+
+def best_rate(fn, *, rounds: int) -> float:
     """Best events-per-second over ``rounds`` runs (min-time estimator)."""
     best = 0.0
     for _ in range(rounds):
@@ -32,12 +47,13 @@ def _best_rate(fn, *, rounds: int = 5) -> float:
     return best
 
 
+def measure_all() -> dict:
+    """Fresh events-per-second figures for every registered metric."""
+    return {name: best_rate(fn, rounds=rounds) for name, (fn, rounds) in BENCH_REGISTRY.items()}
+
+
 def test_write_perf_baseline():
-    timings = {
-        "engine_fast_path_events_per_sec": _best_rate(pump_events),
-        "engine_handle_path_events_per_sec": _best_rate(pump_events_with_handles),
-        "tcp_pipeline_events_per_sec": _best_rate(single_tcp_second, rounds=3),
-    }
+    timings = measure_all()
     payload = {
         "schema": 1,
         "python": sys.version.split()[0],
@@ -50,3 +66,4 @@ def test_write_perf_baseline():
     # the guard trips on catastrophic regressions without being flaky.
     assert timings["engine_fast_path_events_per_sec"] > 100_000
     assert timings["tcp_pipeline_events_per_sec"] > 30_000
+    assert timings["multiflow_fairness_events_per_sec"] > 20_000

@@ -1,10 +1,18 @@
-"""Benchmark smoke: guard against regressions of the recorded substrate timings.
+"""Benchmark smoke: guard against regressions of the recorded timings.
 
-Re-times the engine and packet-pipeline hot paths and compares the fresh
-events-per-second figures against the committed ``BENCH_engine.json``.  CI
-machines differ wildly from the machine that recorded the baseline, so the
-check only trips when a timing falls below ``baseline / BENCH_TOLERANCE``
-(default 4x) -- a catastrophic regression, not noise.
+Re-times every metric shared between the committed ``BENCH_engine.json``
+baseline and the local bench registry (``bench_perf_baseline.BENCH_REGISTRY``)
+and fails when a fresh events-per-second figure falls below
+``baseline / BENCH_TOLERANCE`` (default 4x) -- a catastrophic regression, not
+noise (CI machines differ wildly from the machine that recorded the
+baseline).
+
+Key handling is forward- and backward-compatible by construction:
+
+* baseline keys with no local bench (e.g. a metric added by a future branch
+  and merged back) are reported as skipped, never failed;
+* registry metrics not yet present in the baseline are reported as new, so
+  the next ``pytest benchmarks/bench_perf_baseline.py`` run records them.
 
 Usage: ``python benchmarks/check_regression.py`` (exit code 1 on regression).
 """
@@ -15,7 +23,6 @@ import json
 import os
 import pathlib
 import sys
-import time
 
 _HERE = pathlib.Path(__file__).resolve().parent
 sys.path.insert(0, str(_HERE))
@@ -25,34 +32,20 @@ BASELINE_PATH = _HERE / "BENCH_engine.json"
 TOLERANCE = float(os.environ.get("BENCH_TOLERANCE", "4.0"))
 
 
-def _best_rate(fn, *, rounds: int = 3) -> float:
-    """Best events-per-second over ``rounds`` runs (min-time estimator)."""
-    best = 0.0
-    for _ in range(rounds):
-        start = time.perf_counter()
-        events = fn()
-        elapsed = time.perf_counter() - start
-        if elapsed > 0:
-            best = max(best, events / elapsed)
-    return best
-
-
 def main() -> int:
-    from bench_netsim_engine import pump_events, pump_events_with_handles, single_tcp_second
+    from bench_perf_baseline import BENCH_REGISTRY, best_rate
 
     baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))["timings"]
-    fresh = {
-        "engine_fast_path_events_per_sec": _best_rate(pump_events),
-        "engine_handle_path_events_per_sec": _best_rate(pump_events_with_handles),
-        "tcp_pipeline_events_per_sec": _best_rate(single_tcp_second, rounds=2),
-    }
+    checked = sorted(set(baseline) & set(BENCH_REGISTRY))
+    skipped = sorted(set(baseline) - set(BENCH_REGISTRY))
+    unrecorded = sorted(set(BENCH_REGISTRY) - set(baseline))
 
     failed = []
     print(f"benchmark smoke vs {BASELINE_PATH.name} (tolerance {TOLERANCE:g}x)")
-    for key, recorded in sorted(baseline.items()):
-        measured = fresh.get(key)
-        if measured is None:
-            continue
+    for key in checked:
+        fn, rounds = BENCH_REGISTRY[key]
+        measured = best_rate(fn, rounds=max(rounds - 2, 2))
+        recorded = baseline[key]
         floor = recorded / TOLERANCE
         status = "ok" if measured >= floor else "REGRESSION"
         if measured < floor:
@@ -60,11 +53,15 @@ def main() -> int:
         print(
             f"  {key}: {measured:>12.0f} ev/s  (baseline {recorded:.0f}, floor {floor:.0f})  {status}"
         )
+    for key in skipped:
+        print(f"  {key}: skipped (recorded in baseline, no local bench)")
+    for key in unrecorded:
+        print(f"  {key}: new (not in baseline yet; refresh with bench_perf_baseline.py)")
 
     if failed:
         print(f"\nFAILED: {', '.join(failed)} below {TOLERANCE:g}x tolerance", file=sys.stderr)
         return 1
-    print("\nall substrate timings within tolerance")
+    print("\nall recorded timings within tolerance")
     return 0
 
 

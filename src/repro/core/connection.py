@@ -23,7 +23,7 @@ from ..units import DEFAULT_MSS, throughput_mbps
 from .coupled import CouplingGroup, make_multipath_congestion_control
 from .options import DsnAllocator, DsnReassembler
 from .path_manager import PathManager, TagPathManager
-from .scheduler import Scheduler, make_scheduler
+from .scheduler import MinRttScheduler, RoundRobinScheduler, Scheduler, make_scheduler
 from .subflow import Subflow
 
 _flow_ids = itertools.count(1000)
@@ -104,6 +104,16 @@ class MptcpConnection:
         self._build_transport()
         self._start_time: Optional[float] = None
         self._starved_subflows: set[int] = set()
+        # O(1) dispatch for the dominant configuration: with an unbounded
+        # greedy source both stock work-conserving schedulers grant every
+        # request straight from the allocator (data is never scarce), so the
+        # per-segment scheduler indirection and starvation bookkeeping can be
+        # skipped entirely.  Scheduler subclasses keep the full dispatch.
+        self._fast_allocate = (
+            type(self.scheduler) in (MinRttScheduler, RoundRobinScheduler)
+            and total_bytes is None
+            and send_buffer_bytes is None
+        )
 
     # ------------------------------------------------------------------ build
     @staticmethod
@@ -153,6 +163,16 @@ class MptcpConnection:
     # ------------------------------------------------------------------ DataProvider protocol
     def request_data(self, sender: TcpSender, max_bytes: int) -> Optional[Tuple[int, int]]:
         """Called by a subflow sender with free window; delegates to the scheduler."""
+        if self._fast_allocate:
+            # Unconstrained source: the grant is always the full request (the
+            # exact outcome MinRtt/RoundRobin produce via the allocator), so
+            # the subflow can never starve and no bookkeeping is needed.
+            if max_bytes <= 0:
+                return None
+            allocator = self.allocator
+            dsn = allocator.next_dsn
+            allocator.next_dsn = dsn + max_bytes
+            return dsn, max_bytes
         subflow = self._senders[sender.subflow_id]
         grant = self.scheduler.allocate(self, subflow, max_bytes)
         if grant is None:
@@ -165,10 +185,10 @@ class MptcpConnection:
 
     def on_data_acked(self, sender: TcpSender, dsn: int, length: int, now: float) -> None:
         """Subflow-level acknowledgement of a DSN range."""
-        subflow = self._senders[sender.subflow_id]
-        subflow.acked_bytes += length
-        self.allocator.on_acked(length)
-        self._wake_starved_subflows()
+        self._senders[sender.subflow_id].acked_bytes += length
+        self.allocator.acked_bytes += length
+        if self._starved_subflows:
+            self._wake_starved_subflows()
 
     def _wake_starved_subflows(self) -> None:
         """Let previously refused subflows ask the scheduler again."""

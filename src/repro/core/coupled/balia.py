@@ -24,6 +24,8 @@ class BaliaCongestionControl(CoupledCongestionControl):
 
     name = "balia"
 
+    __slots__ = ()
+
     def _rate(self) -> float:
         return self.cwnd / self.rtt_or_default()
 
@@ -35,21 +37,33 @@ class BaliaCongestionControl(CoupledCongestionControl):
         return max(rates) / own
 
     def _congestion_avoidance(self, acked_segments: float, srtt: float, now: float) -> None:
+        # Fused per-ACK pass: total and maximum member rate in one walk
+        # instead of the two sum/max walks of _alpha() + the CA sum; the
+        # per-member expression and accumulation order are unchanged, so the
+        # result is bit-identical.
         members = self.group.members_view
-        total_rate = sum(m.cwnd / m.rtt_or_default() for m in members)
-        if total_rate <= 0 or self.cwnd <= 0:
-            self.cwnd = max(self.cwnd, 1.0)
+        total_rate = 0
+        max_rate = None
+        for m in members:
+            rate = m.cwnd / m.rtt_or_default()
+            total_rate = total_rate + rate
+            if max_rate is None or rate > max_rate:
+                max_rate = rate
+        cwnd = self.cwnd
+        if total_rate <= 0 or cwnd <= 0:
+            self.cwnd = max(cwnd, 1.0)
             return
         rtt = self.rtt_or_default()
-        alpha = self._alpha()
+        own = cwnd / rtt
+        alpha = 1.0 if own <= 0 else max_rate / own
         increase = (
-            (self.cwnd / rtt / rtt)
+            (cwnd / rtt / rtt)
             / (total_rate ** 2)
             * ((1.0 + alpha) / 2.0)
             * ((4.0 + alpha) / 5.0)
             * acked_segments
         )
-        self.cwnd += increase
+        self.cwnd = cwnd + increase
 
     def _loss_decrease(self, now: float) -> None:
         alpha = min(self._alpha(), 1.5)

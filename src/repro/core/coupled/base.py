@@ -20,15 +20,33 @@ class CouplingGroup:
 
     def __init__(self) -> None:
         self._members: List["CoupledCongestionControl"] = []
+        # type -> members of that type, in registration order.  The coupled
+        # algorithms filter the group by their own class on every ACK; the
+        # membership only changes on register/unregister, so the filtered
+        # lists are cached here and invalidated on mutation.
+        self._typed_cache: dict = {}
 
     # ------------------------------------------------------------------
     def register(self, member: "CoupledCongestionControl") -> None:
         if member not in self._members:
             self._members.append(member)
+            self._typed_cache.clear()
 
     def unregister(self, member: "CoupledCongestionControl") -> None:
         if member in self._members:
             self._members.remove(member)
+            self._typed_cache.clear()
+
+    def members_of(self, cls: type) -> List["CoupledCongestionControl"]:
+        """The registered members that are instances of ``cls`` (cached).
+
+        Read-only by convention, like :attr:`members_view`.
+        """
+        cached = self._typed_cache.get(cls)
+        if cached is None:
+            cached = [m for m in self._members if isinstance(m, cls)]
+            self._typed_cache[cls] = cached
+        return cached
 
     @property
     def members(self) -> List["CoupledCongestionControl"]:
@@ -81,6 +99,8 @@ class CoupledCongestionControl(CongestionControl):
     """Base class for algorithms that need a view of their sibling subflows."""
 
     name = "coupled-base"
+
+    __slots__ = ("group",)
 
     def __init__(self, *args, group: Optional[CouplingGroup] = None, **kwargs) -> None:
         super().__init__(*args, **kwargs)

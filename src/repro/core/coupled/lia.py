@@ -25,6 +25,8 @@ class LiaCongestionControl(CoupledCongestionControl):
 
     name = "lia"
 
+    __slots__ = ()
+
     def alpha(self) -> float:
         """The LIA aggressiveness factor computed over all subflows."""
         members = self.group.members_view
@@ -38,10 +40,32 @@ class LiaCongestionControl(CoupledCongestionControl):
         return total_cwnd * numerator / denominator
 
     def _congestion_avoidance(self, acked_segments: float, srtt: float, now: float) -> None:
-        total_cwnd = self.group.total_cwnd()
-        if total_cwnd <= 0 or self.cwnd <= 0:
-            self.cwnd = max(self.cwnd, 1.0)
+        # Fused per-ACK pass: the shared aggregates (total cwnd, sum of
+        # cwnd/rtt, max cwnd/rtt^2) are computed in ONE walk over the group
+        # instead of the four separate walks total_cwnd() + alpha() used to
+        # make.  Accumulation order and per-member expressions are unchanged,
+        # so every float is bit-identical to the multi-pass result.
+        members = self.group.members_view
+        total_cwnd = 0
+        rate_sum = 0
+        numerator = None
+        for m in members:
+            member_cwnd = m.cwnd
+            total_cwnd = total_cwnd + member_cwnd
+            rtt = m.rtt_or_default()
+            rate_sum = rate_sum + member_cwnd / rtt
+            term = member_cwnd / (rtt ** 2)
+            if numerator is None or term > numerator:
+                numerator = term
+        cwnd = self.cwnd
+        if total_cwnd <= 0 or cwnd <= 0:
+            self.cwnd = max(cwnd, 1.0)
             return
-        coupled_increase = self.alpha() * acked_segments / total_cwnd
-        uncoupled_increase = acked_segments / self.cwnd
-        self.cwnd += min(coupled_increase, uncoupled_increase)
+        denominator = rate_sum ** 2
+        if denominator <= 0:
+            alpha = 1.0
+        else:
+            alpha = total_cwnd * numerator / denominator
+        coupled_increase = alpha * acked_segments / total_cwnd
+        uncoupled_increase = acked_segments / cwnd
+        self.cwnd = cwnd + min(coupled_increase, uncoupled_increase)

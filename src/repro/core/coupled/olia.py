@@ -36,6 +36,8 @@ class OliaCongestionControl(CoupledCongestionControl):
 
     name = "olia"
 
+    __slots__ = ("_bytes_since_loss", "_bytes_between_losses")
+
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         # Bytes acknowledged since the last loss (l1) and between the two
@@ -55,47 +57,72 @@ class OliaCongestionControl(CoupledCongestionControl):
 
     # ------------------------------------------------------------------ alpha
     def _alpha(self) -> float:
-        members: List[OliaCongestionControl] = [
-            m for m in self.group.members_view if isinstance(m, OliaCongestionControl)
-        ]
+        # Per-ACK fused pass over the (cached) OLIA members: qualities, the
+        # best quality and the largest window are collected in one walk, and
+        # the collected/max-window *sets* are reduced to counts plus
+        # self-membership flags -- the only facts the formula needs.  Every
+        # comparison and division matches the historical list-building
+        # implementation bit for bit.
+        members: List[OliaCongestionControl] = self.group.members_of(OliaCongestionControl)
         n = len(members)
         if n <= 1:
             return 0.0
         epsilon = 1e-9
         # One rate estimate per member per ACK; the quality metric is
         # deterministic at a given instant, so reusing it is exact.
-        qualities = [m._rate_estimate() for m in members]
-        best_quality = max(qualities)
-        max_cwnd = max(m.cwnd for m in members)
-        max_window_paths = [m for m in members if m.cwnd >= max_cwnd - epsilon]
-        collected = [
-            m
-            for m, quality in zip(members, qualities)
-            if quality >= best_quality - epsilon and m not in max_window_paths
-        ]
-        if not collected:
+        qualities = []
+        append_quality = qualities.append
+        best_quality = None
+        max_cwnd = None
+        for m in members:
+            quality = m._rate_estimate()
+            append_quality(quality)
+            if best_quality is None or quality > best_quality:
+                best_quality = quality
+            member_cwnd = m.cwnd
+            if max_cwnd is None or member_cwnd > max_cwnd:
+                max_cwnd = member_cwnd
+        cwnd_threshold = max_cwnd - epsilon
+        quality_threshold = best_quality - epsilon
+        max_window_count = 0
+        collected_count = 0
+        self_in_max_window = False
+        self_in_collected = False
+        for m, quality in zip(members, qualities):
+            if m.cwnd >= cwnd_threshold:
+                max_window_count += 1
+                if m is self:
+                    self_in_max_window = True
+            elif quality >= quality_threshold:
+                collected_count += 1
+                if m is self:
+                    self_in_collected = True
+        if collected_count == 0:
             return 0.0
-        if self in collected:
-            return 1.0 / (n * len(collected))
-        if self in max_window_paths:
-            return -1.0 / (n * len(max_window_paths))
+        if self_in_collected:
+            return 1.0 / (n * collected_count)
+        if self_in_max_window:
+            return -1.0 / (n * max_window_count)
         return 0.0
 
     # ------------------------------------------------------------------ events
     def _congestion_avoidance(self, acked_segments: float, srtt: float, now: float) -> None:
         self._bytes_since_loss += acked_segments * self.mss
         members = self.group.members_view
-        rate_sum = sum(m.cwnd / m.rtt_or_default() for m in members)
-        if rate_sum <= 0 or self.cwnd <= 0:
-            self.cwnd = max(self.cwnd, 1.0)
+        rate_sum = 0
+        for m in members:
+            rate_sum = rate_sum + m.cwnd / m.rtt_or_default()
+        cwnd = self.cwnd
+        if rate_sum <= 0 or cwnd <= 0:
+            self.cwnd = max(cwnd, 1.0)
             return
         rtt = self.rtt_or_default()
-        coupled_term = (self.cwnd / (rtt ** 2)) / (rate_sum ** 2)
-        alpha_term = self._alpha() / self.cwnd
+        coupled_term = (cwnd / (rtt ** 2)) / (rate_sum ** 2)
+        alpha_term = self._alpha() / cwnd
         increase = (coupled_term + alpha_term) * acked_segments
         # The window never shrinks during congestion avoidance faster than the
         # negative alpha term allows, and never below one segment.
-        self.cwnd = max(1.0, self.cwnd + increase)
+        self.cwnd = max(1.0, cwnd + increase)
 
     def on_ack(self, acked_bytes: int, srtt: float, now: float) -> None:
         if self.in_slow_start and acked_bytes > 0:

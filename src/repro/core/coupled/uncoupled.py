@@ -22,6 +22,8 @@ class UncoupledCubic(CubicCongestionControl):
 
     name = "cubic"
 
+    __slots__ = ("group",)
+
     def __init__(self, *args, group: Optional[CouplingGroup] = None, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.group = group if group is not None else CouplingGroup()
@@ -35,6 +37,8 @@ class UncoupledReno(RenoCongestionControl):
     """Per-subflow Reno with no coupling."""
 
     name = "reno"
+
+    __slots__ = ("group",)
 
     def __init__(self, *args, group: Optional[CouplingGroup] = None, **kwargs) -> None:
         super().__init__(*args, **kwargs)

@@ -22,6 +22,8 @@ class WVegasCongestionControl(CoupledCongestionControl):
 
     name = "wvegas"
 
+    __slots__ = ("base_rtt",)
+
     #: Total backlog target across the connection, in segments.
     TOTAL_ALPHA = 10.0
 
@@ -32,8 +34,12 @@ class WVegasCongestionControl(CoupledCongestionControl):
     # ------------------------------------------------------------------
     def _weight(self) -> float:
         """This subflow's share of the backlog target (rate-proportional)."""
-        members = [m for m in self.group.members_view if isinstance(m, WVegasCongestionControl)]
-        total_rate = sum(m.cwnd / m.rtt_or_default() for m in members)
+        # Cached type-filtered member list + one fused accumulation pass per
+        # ACK (bit-identical to the historical list-comp + sum()).
+        members = self.group.members_of(WVegasCongestionControl)
+        total_rate = 0
+        for m in members:
+            total_rate = total_rate + m.cwnd / m.rtt_or_default()
         if total_rate <= 0:
             return 1.0 / max(len(members), 1)
         return (self.cwnd / self.rtt_or_default()) / total_rate

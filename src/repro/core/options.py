@@ -53,11 +53,23 @@ class DsnAllocator:
 
     def allocate(self, max_bytes: int) -> Optional[Tuple[int, int]]:
         """Reserve up to ``max_bytes`` new bytes; return ``(dsn, length)`` or None."""
-        grant = self.available(max_bytes)
+        # Per-segment hot path: ``available`` is inlined (same clamping, no
+        # property round-trips).
+        grant = max_bytes
+        dsn = self.next_dsn
+        total = self.total_bytes
+        if total is not None:
+            remaining = total - dsn
+            if remaining < grant:
+                grant = remaining
+        send_buffer = self.send_buffer_bytes
+        if send_buffer is not None:
+            room = send_buffer - (dsn - self.acked_bytes)
+            if room < grant:
+                grant = room
         if grant <= 0:
             return None
-        dsn = self.next_dsn
-        self.next_dsn += grant
+        self.next_dsn = dsn + grant
         return dsn, grant
 
     def on_acked(self, length: int) -> None:
@@ -92,6 +104,14 @@ class DsnReassembler:
         """Deliver a DSN range; return the updated cumulative data ACK."""
         if length <= 0:
             return self.data_ack
+        if dsn == self.data_ack and not self._pending:
+            # Fast path: the in-order range with no reassembly holes -- the
+            # overwhelmingly common case on the per-segment hot path.
+            data_ack = dsn + length
+            self.data_ack = data_ack
+            self.delivered_bytes += length
+            self.goodput_records.append((now, data_ack))
+            return data_ack
         end = dsn + length
         if end <= self.data_ack:
             self.duplicate_bytes += length

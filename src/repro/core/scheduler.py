@@ -65,22 +65,28 @@ class MinRttScheduler(Scheduler):
 
     def allocate(self, connection, subflow, max_bytes):
         allocator = connection.allocator
-        if _is_unconstrained(allocator):
+        if allocator.send_buffer_bytes is None and allocator.total_bytes is None:
             return allocator.allocate(max_bytes)
         # Data is scarce: give it to the fastest path that has window space.
-        candidates = [
-            sf
-            for sf in connection.subflows
-            if sf.sender is not None
-            and sf.sender.flight_size + sf.sender.mss <= sf.sender.effective_window
-        ]
-        if not candidates:
+        # Single pass, no candidate list: ties keep the earliest subflow,
+        # exactly like min() over the filtered list did.
+        best = None
+        best_srtt = 0.0
+        for sf in connection.subflows:
+            sender = sf.sender
+            if sender is None:
+                continue
+            cc = sender.cc
+            if sender.snd_nxt - sender.snd_una + sender.mss > cc.cwnd * cc.mss:
+                continue
+            srtt = sender.rtt.srtt
+            if srtt is None:
+                srtt = float("inf")
+            if best is None or srtt < best_srtt:
+                best = sf
+                best_srtt = srtt
+        if best is None:
             return allocator.allocate(max_bytes)
-
-        def srtt_of(sf):
-            return sf.sender.rtt.smoothed(default=float("inf"))
-
-        best = min(candidates, key=srtt_of)
         if best is not subflow:
             return None
         return allocator.allocate(max_bytes)

@@ -8,7 +8,6 @@ instance together with the :class:`~repro.model.paths.Path` it is pinned to.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from ..model.paths import Path
@@ -20,19 +19,54 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..tcp.sender import TcpSender
 
 
-@dataclass
 class Subflow:
-    """One MPTCP subflow and its simulation objects."""
+    """One MPTCP subflow and its simulation objects.
 
-    subflow_id: int
-    path: Path
-    tag: Optional[int]
-    is_default: bool = False
-    sender: "TcpSender" = field(default=None, repr=False)  # type: ignore[assignment]
-    receiver: "TcpReceiver" = field(default=None, repr=False)  # type: ignore[assignment]
-    cc: "CongestionControl" = field(default=None, repr=False)  # type: ignore[assignment]
-    started_at: Optional[float] = None
-    acked_bytes: int = 0
+    A plain ``__slots__`` class (not a dataclass): ``acked_bytes`` is bumped
+    and ``sender`` dereferenced once per acknowledged segment of every
+    subflow, and slotted attribute access keeps that hot path lean.
+    """
+
+    __slots__ = (
+        "subflow_id",
+        "path",
+        "tag",
+        "is_default",
+        "sender",
+        "receiver",
+        "cc",
+        "started_at",
+        "acked_bytes",
+    )
+
+    def __init__(
+        self,
+        subflow_id: int,
+        path: Path,
+        tag: Optional[int],
+        is_default: bool = False,
+        sender: "TcpSender" = None,  # type: ignore[assignment]
+        receiver: "TcpReceiver" = None,  # type: ignore[assignment]
+        cc: "CongestionControl" = None,  # type: ignore[assignment]
+        started_at: Optional[float] = None,
+        acked_bytes: int = 0,
+    ) -> None:
+        self.subflow_id = subflow_id
+        self.path = path
+        self.tag = tag
+        self.is_default = is_default
+        self.sender = sender
+        self.receiver = receiver
+        self.cc = cc
+        self.started_at = started_at
+        self.acked_bytes = acked_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Subflow(subflow_id={self.subflow_id!r}, path={self.path!r}, "
+            f"tag={self.tag!r}, is_default={self.is_default!r}, "
+            f"started_at={self.started_at!r}, acked_bytes={self.acked_bytes!r})"
+        )
 
     # ------------------------------------------------------------------
     @property

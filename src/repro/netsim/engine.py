@@ -26,7 +26,9 @@ Typical use::
 
 from __future__ import annotations
 
+import gc
 import heapq
+from collections import deque
 from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
@@ -34,13 +36,13 @@ from ..errors import SimulationError
 _heappush = heapq.heappush
 _heappop = heapq.heappop
 
-#: Upper bound on the reusable-entry free list; beyond this, drained entries
-#: are simply dropped for the garbage collector.
+#: Upper bound on the reusable-entry free list; the pool deque self-evicts
+#: its oldest entry beyond this, so recycle sites never pay a length check.
 _POOL_LIMIT = 4096
 
 # NOTE: the heap entry layout [time, seq, callback, args] is mirrored by the
-# inlined fast-path pushes in netsim/link.py (_transmit/_serve_queue); keep
-# the two in sync when changing it.
+# inlined fast-path pushes in netsim/link.py (send/_serve_queue); keep the
+# two in sync when changing it.
 
 
 class Event:
@@ -107,7 +109,7 @@ class Simulator:
         self.events_processed: int = 0
         self._heap: list[list] = []
         self._seq: int = 0
-        self._pool: list[list] = []
+        self._pool: deque = deque(maxlen=_POOL_LIMIT)
         self._running: bool = False
         self._stopped: bool = False
 
@@ -155,7 +157,15 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule an event {delay} seconds in the past")
-        entry = [self.now + delay, self._seq, callback, args]
+        pool = self._pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = self.now + delay
+            entry[1] = self._seq
+            entry[2] = callback
+            entry[3] = args
+        else:
+            entry = [self.now + delay, self._seq, callback, args]
         self._seq += 1
         _heappush(self._heap, entry)
 
@@ -165,7 +175,15 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule an event at t={time} before the current time t={self.now}"
             )
-        entry = [time, self._seq, callback, args]
+        pool = self._pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = time
+            entry[1] = self._seq
+            entry[2] = callback
+            entry[3] = args
+        else:
+            entry = [time, self._seq, callback, args]
         self._seq += 1
         _heappush(self._heap, entry)
 
@@ -209,24 +227,36 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         self._stopped = False
+        # Cyclic GC is paused for the duration of the loop: the entry and
+        # packet pools keep the per-event allocation rate near zero, but the
+        # surviving pools/heap form a large object graph that generation-0
+        # collections would otherwise rescan thousands of times per simulated
+        # second.  The simulation allocates no reference cycles, so deferring
+        # collection until the run returns is safe; the previous GC state is
+        # always restored.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         # Hoisted locals: the loop body must not touch ``self`` beyond the
         # clock store and the stop-flag check it cannot avoid.
         heap = self._heap
         pool = self._pool
         heappop = _heappop
-        pool_limit = _POOL_LIMIT
         processed = 0
         try:
             if until is None and max_events is None:
                 # Batched fast loop: no bound checks; the stop flag can only
                 # flip inside a callback, so it is tested after the call.
+                # Unlike the until-bounded loop below, fired entries are NOT
+                # recycled here: with the collector paused, a fresh 4-element
+                # list costs less than the reuse dance, and this loop is the
+                # schedule_fast micro-benchmark path.
                 while heap:
                     entry = heappop(heap)
                     callback = entry[2]
                     if callback is None:
                         # Cancelled: drain into the free list, no re-heapify.
-                        if len(pool) < pool_limit:
-                            pool.append(entry)
+                        pool.append(entry)
                         continue
                     self.now = entry[0]
                     callback(*entry[3])
@@ -235,20 +265,28 @@ class Simulator:
                         break
             elif max_events is None:
                 # Until-bounded loop (Network.run): the horizon is a local
-                # float, no other bound checks.
+                # float, no other bound checks.  Pop-first beats peek-then-pop
+                # -- the horizon is crossed once per run, so the single
+                # push-back is cheaper than indexing heap[0] on every event.
                 while heap:
-                    entry = heap[0]
-                    if entry[2] is None:  # cancelled: drain without running
-                        heappop(heap)
-                        if len(pool) < pool_limit:
-                            pool.append(entry)
+                    entry = heappop(heap)
+                    callback = entry[2]
+                    if callback is None:  # cancelled: drain without running
+                        pool.append(entry)
                         continue
-                    if entry[0] > until:
+                    time = entry[0]
+                    if time > until:
+                        _heappush(heap, entry)
                         break
-                    heappop(heap)
-                    self.now = entry[0]
-                    entry[2](*entry[3])
+                    self.now = time
+                    callback(*entry[3])
                     processed += 1
+                    # Fired entries are recycled exactly like cancelled ones
+                    # (stale Event handles are generation-checked by their
+                    # sequence number); the per-packet link pushes feed off
+                    # this free list, so network runs allocate no entries in
+                    # steady state.
+                    pool.append(entry)
                     if self._stopped:
                         break
             else:
@@ -256,8 +294,7 @@ class Simulator:
                     entry = heap[0]
                     if entry[2] is None:  # cancelled: drain without running
                         heappop(heap)
-                        if len(pool) < pool_limit:
-                            pool.append(entry)
+                        pool.append(entry)
                         continue
                     if until is not None and entry[0] > until:
                         break
@@ -265,6 +302,7 @@ class Simulator:
                     self.now = entry[0]
                     entry[2](*entry[3])
                     processed += 1
+                    pool.append(entry)
                     if self._stopped:
                         break
                     if processed >= max_events:
@@ -272,6 +310,8 @@ class Simulator:
         finally:
             self._running = False
             self.events_processed += processed
+            if gc_was_enabled:
+                gc.enable()
         if until is not None and not self._stopped and self.now < until:
             self.now = until
         return self.now

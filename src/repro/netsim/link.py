@@ -21,6 +21,7 @@ two-event serialise-then-propagate chain.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING, Optional
 
 from heapq import heappush as _link_heappush
@@ -82,6 +83,24 @@ class Link:
         Queue discipline; defaults to a 100-packet drop-tail queue.
     """
 
+    __slots__ = (
+        "sim",
+        "src",
+        "dst",
+        "rate_bps",
+        "delay",
+        "queue",
+        "_enqueue",
+        "name",
+        "stats",
+        "_busy_until",
+        "_serving",
+        "_dst_receive",
+        "_fused_receive",
+        "_fused_host",
+        "_in_flight",
+    )
+
     def __init__(
         self,
         sim: "Simulator",
@@ -102,10 +121,34 @@ class Link:
         self.rate_bps = float(rate_bps)
         self.delay = float(delay)
         self.queue = queue if queue is not None else DropTailQueue()
+        self._enqueue = self.queue.enqueue  # bound once; runs per offered packet
         self.name = name or f"{src.name}->{dst.name}"
         self.stats = LinkStats()
         self._busy_until = 0.0
         self._serving = False
+        # Bound once: _deliver runs per packet per hop and the downstream
+        # node never changes after construction.  When the downstream node
+        # uses the stock Node.receive, its body is fused into _deliver (one
+        # call frame per hop saved); custom receive() overrides (tests,
+        # instrumented nodes) keep the virtual dispatch.
+        self._dst_receive = dst.receive
+        from .node import Host, Node  # runtime import: node.py imports this module lazily
+
+        self._fused_receive = type(dst).receive is Node.receive
+        # One level deeper: when the downstream node is a stock Host, the
+        # capture fan-out and sole-agent dispatch of _deliver_locally are
+        # inlined into _deliver as well.
+        self._fused_host = (
+            self._fused_receive
+            and isinstance(dst, Host)
+            and type(dst)._deliver_locally is Host._deliver_locally
+        )
+        #: Packets serialising/propagating on this link, in delivery order.
+        #: Deliveries are FIFO by construction (busy_until is monotone, the
+        #: propagation delay constant), so the delivery event itself carries
+        #: no arguments and pops from the left -- one args-tuple allocation
+        #: per packet per hop avoided.
+        self._in_flight: deque = deque()
 
     # ------------------------------------------------------------------
     @property
@@ -121,52 +164,135 @@ class Link:
         sim = self.sim
         now = sim.now
         if now < self._busy_until or self._serving:
-            accepted = self.queue.enqueue(packet, now)
+            accepted = self._enqueue(packet, now)
             if accepted and not self._serving:
                 # First queued packet: arm the serve event for the instant
                 # the transmitter frees (the old end-of-serialisation time).
                 self._serving = True
                 sim.schedule_fast_at(self._busy_until, self._serve_queue)
             return accepted
-        self._transmit(packet, now)
-        return True
-
-    # ------------------------------------------------------------------
-    def _transmit(self, packet: Packet, start: float) -> None:
-        """Start serialising ``packet`` at ``start`` (== sim.now)."""
-        # Inlined transmission_time(); rate is validated positive in __init__.
-        tx_time = packet.size * 8.0 / self.rate_bps
-        tx_end = start + tx_time
+        # Idle transmitter: transmit inlined (one call frame per packet per
+        # hop adds up); keep in sync with the _serve_queue body.
+        size = packet.size
+        tx_time = size * 8.0 / self.rate_bps
+        tx_end = now + tx_time
         self._busy_until = tx_end
         stats = self.stats
         stats.busy_time += tx_time
         stats.packets_sent += 1
-        stats.bytes_sent += packet.size
-        # Single merged delivery event: serialisation + propagation.  The
-        # schedule_fast_at body is inlined — this runs once per packet per
-        # hop, and the fire time is >= now by construction (tx > 0,
-        # delay >= 0), so the past-time guard is redundant here.
-        sim = self.sim
-        _link_heappush(sim._heap, [tx_end + self.delay, sim._seq, self._deliver, (packet,)])
+        stats.bytes_sent += size
+        self._in_flight.append(packet)
+        pool = sim._pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = tx_end + self.delay
+            entry[1] = sim._seq
+            entry[2] = self._deliver
+            entry[3] = ()
+        else:
+            entry = [tx_end + self.delay, sim._seq, self._deliver, ()]
+        _link_heappush(sim._heap, entry)
         sim._seq += 1
+        return True
 
+    # ------------------------------------------------------------------
     def _serve_queue(self) -> None:
-        """Runs at the instant the transmitter frees while packets are queued."""
-        packet = self.queue.dequeue()
+        """Runs at the instant the transmitter frees while packets are queued.
+
+        The transmit body (serialisation accounting + single merged
+        delivery event, the ``schedule_fast_at`` push inlined) lives here
+        and in the idle branch of :meth:`send`; keep the two in sync.  The
+        fire time is >= now by construction (tx > 0, delay >= 0), so the
+        engine's past-time guard is redundant.
+        """
+        queue = self.queue
+        packet = queue.dequeue()
         if packet is None:  # pragma: no cover - defensive; queue drained elsewhere
             self._serving = False
             return
-        self._transmit(packet, self.sim.now)
-        if self.queue.is_empty:
+        sim = self.sim
+        size = packet.size
+        tx_time = size * 8.0 / self.rate_bps
+        tx_end = sim.now + tx_time
+        self._busy_until = tx_end
+        stats = self.stats
+        stats.busy_time += tx_time
+        stats.packets_sent += 1
+        stats.bytes_sent += size
+        self._in_flight.append(packet)
+        pool = sim._pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = tx_end + self.delay
+            entry[1] = sim._seq
+            entry[2] = self._deliver
+            entry[3] = ()
+        else:
+            entry = [tx_end + self.delay, sim._seq, self._deliver, ()]
+        _link_heappush(sim._heap, entry)
+        sim._seq += 1
+        # Friend access to the queue's backing deque (is_empty property
+        # dispatch avoided; this fires once per queued packet).
+        if not queue._queue:
             self._serving = False
         else:
-            sim = self.sim
-            _link_heappush(sim._heap, [self._busy_until, sim._seq, self._serve_queue, ()])
+            if pool:
+                entry = pool.pop()
+                entry[0] = tx_end
+                entry[1] = sim._seq
+                entry[2] = self._serve_queue
+                entry[3] = ()
+            else:
+                entry = [tx_end, sim._seq, self._serve_queue, ()]
+            _link_heappush(sim._heap, entry)
             sim._seq += 1
 
-    def _deliver(self, packet: Packet) -> None:
+    def _deliver(self) -> None:
+        packet = self._in_flight.popleft()
         packet.hops += 1
-        self.dst.receive(packet, self)
+        if self._fused_receive:
+            # Node.receive inlined; keep in sync with netsim/node.py.
+            dst = self.dst
+            stats = dst.stats
+            stats.received += 1
+            if packet.dst == dst.name:
+                stats.delivered += 1
+                if self._fused_host:
+                    # Host._deliver_locally inlined (captures + sole-agent
+                    # dispatch); keep in sync with netsim/node.py.
+                    captures = dst._captures
+                    if captures:
+                        now = dst.sim.now
+                        for capture in captures:
+                            capture(packet, now)
+                    sole = dst._sole_agent
+                    if sole is not None:
+                        if (
+                            packet.flow_id == dst._sole_flow
+                            and packet.subflow_id == dst._sole_subflow
+                        ):
+                            sole.handle_packet(packet)
+                        return
+                    per_flow = dst._agents_by_flow.get(packet.flow_id)
+                    if per_flow is not None:
+                        agent = per_flow.get(packet.subflow_id)
+                        if agent is not None:
+                            agent.handle_packet(packet)
+                    return
+                dst._deliver_locally(packet)
+            else:
+                stats.forwarded += 1
+                # Forwarding fast path: the downstream node's hop-cache
+                # lookup (Node.send) inlined for the cache-hit case.
+                cache = dst._hop_cache
+                if cache is not None and dst._hop_version == dst.routing.version:
+                    link = cache.get((packet.dst, packet.tag))
+                    if link is not None:
+                        link.send(packet)
+                        return
+                dst.send(packet)
+            return
+        self._dst_receive(packet, self)
 
     # ------------------------------------------------------------------
     @property

@@ -33,7 +33,26 @@ class NodeStats:
 
 
 class Node:
-    """A network node with outgoing links and a routing table."""
+    """A network node with outgoing links and a routing table.
+
+    Hot-path design: when the routing table's forwarding decision depends
+    only on ``(node, destination, tag)`` (tag/static tables -- the paper's
+    setup), the resolved outgoing :class:`Link` is memoised per
+    ``(destination, tag)``.  Every forwarded packet then costs one dict
+    lookup instead of a virtual ``next_hop`` dispatch plus the table's own
+    lookup chain; the cache is invalidated whenever the table's mutation
+    ``version`` moves (``install_path``).
+    """
+
+    __slots__ = (
+        "name",
+        "sim",
+        "routing",
+        "links",
+        "stats",
+        "_hop_cache",
+        "_hop_version",
+    )
 
     def __init__(self, name: str, sim: "Simulator", routing: Optional["RoutingTable"] = None) -> None:
         self.name = name
@@ -41,11 +60,16 @@ class Node:
         self.routing = routing
         self.links: Dict[str, "Link"] = {}
         self.stats = NodeStats()
+        cache_ok = routing is not None and routing.hop_cache_safe()
+        self._hop_cache: Optional[Dict[tuple, "Link"]] = {} if cache_ok else None
+        self._hop_version = routing.version if cache_ok else 0
 
     # ------------------------------------------------------------------
     def attach_link(self, link: "Link") -> None:
         """Register an outgoing link (keyed by the downstream node's name)."""
         self.links[link.dst.name] = link
+        if self._hop_cache is not None:
+            self._hop_cache.clear()
 
     def link_to(self, neighbor: str) -> "Link":
         try:
@@ -56,6 +80,24 @@ class Node:
     # ------------------------------------------------------------------
     def send(self, packet: Packet) -> bool:
         """Originate or forward ``packet`` towards its destination."""
+        cache = self._hop_cache
+        if cache is not None:
+            routing = self.routing
+            if self._hop_version != routing.version:
+                cache.clear()
+                self._hop_version = routing.version
+            link = cache.get((packet.dst, packet.tag))
+            if link is not None:
+                return link.send(packet)
+            next_hop = routing.next_hop(self.name, packet)
+            if next_hop is None:
+                self.stats.routing_drops += 1
+                return False
+            link = self.links.get(next_hop)
+            if link is None:
+                raise RoutingError(f"{self.name} has no link to {next_hop}")
+            cache[(packet.dst, packet.tag)] = link
+            return link.send(packet)
         routing = self.routing
         if routing is None:
             raise RoutingError(f"node {self.name} has no routing table")
@@ -86,13 +128,33 @@ class Node:
 class Router(Node):
     """A pure forwarding node."""
 
+    __slots__ = ()
+
 
 class Host(Node):
     """An end host running transport agents and capture taps."""
 
+    __slots__ = (
+        "_agents",
+        "_agents_by_flow",
+        "_sole_agent",
+        "_sole_flow",
+        "_sole_subflow",
+        "_captures",
+    )
+
     def __init__(self, name: str, sim: "Simulator", routing: Optional["RoutingTable"] = None) -> None:
         super().__init__(name, sim, routing)
         self._agents: Dict[Tuple[int, int], object] = {}
+        #: Hot-path mirror of ``_agents``: flow_id -> subflow_id -> agent.
+        #: Two int-keyed lookups beat building a tuple key per delivery.
+        self._agents_by_flow: Dict[int, Dict[int, object]] = {}
+        #: Single-agent fast path: most hosts terminate exactly one
+        #: (sender or receiver) endpoint, so delivery reduces to two int
+        #: comparisons.  Cleared whenever a second agent registers.
+        self._sole_agent: Optional[object] = None
+        self._sole_flow = -1
+        self._sole_subflow = -1
         self._captures: List[Callable[[Packet, float], None]] = []
 
     # ------------------------------------------------------------------
@@ -105,9 +167,28 @@ class Host(Node):
         if key in self._agents:
             raise RoutingError(f"{self.name}: agent already registered for flow {key}")
         self._agents[key] = agent
+        self._agents_by_flow.setdefault(flow_id, {})[subflow_id] = agent
+        self._refresh_sole_agent()
 
     def unregister_agent(self, flow_id: int, subflow_id: int) -> None:
         self._agents.pop((flow_id, subflow_id), None)
+        per_flow = self._agents_by_flow.get(flow_id)
+        if per_flow is not None:
+            per_flow.pop(subflow_id, None)
+            if not per_flow:
+                del self._agents_by_flow[flow_id]
+        self._refresh_sole_agent()
+
+    def _refresh_sole_agent(self) -> None:
+        if len(self._agents) == 1:
+            ((flow_id, subflow_id), agent), = self._agents.items()
+            self._sole_flow = flow_id
+            self._sole_subflow = subflow_id
+            self._sole_agent = agent
+        else:
+            self._sole_agent = None
+            self._sole_flow = -1
+            self._sole_subflow = -1
 
     def add_capture(self, callback: Callable[[Packet, float], None]) -> None:
         """Attach a capture tap invoked for every packet delivered to this host."""
@@ -115,11 +196,22 @@ class Host(Node):
 
     # ------------------------------------------------------------------
     def _deliver_locally(self, packet: Packet) -> None:
-        for capture in self._captures:
-            capture(packet, self.sim.now)
-        agent = self._agents.get((packet.flow_id, packet.subflow_id))
-        if agent is None:
+        captures = self._captures
+        if captures:
+            now = self.sim.now
+            for capture in captures:
+                capture(packet, now)
+        sole = self._sole_agent
+        if sole is not None:
+            if packet.flow_id == self._sole_flow and packet.subflow_id == self._sole_subflow:
+                sole.handle_packet(packet)  # type: ignore[attr-defined]
+            # Key mismatch: unknown flow, delivered but ignored (no socket).
+            return
+        per_flow = self._agents_by_flow.get(packet.flow_id)
+        if per_flow is None:
             # Unknown flow: the packet is counted as delivered but ignored,
             # mirroring a host without a listening socket.
             return
-        agent.handle_packet(packet)  # type: ignore[attr-defined]
+        agent = per_flow.get(packet.subflow_id)
+        if agent is not None:
+            agent.handle_packet(packet)  # type: ignore[attr-defined]

@@ -4,14 +4,32 @@ A single flat record is used for data segments, acknowledgements and
 unreliable datagrams; the transport agents only fill in the fields they use.
 ``__slots__`` keeps per-packet overhead low because a 4-second MPTCP run
 creates tens of thousands of packets.
+
+Hot-path design: the transport agents create millions of short-lived packets
+per simulated minute, so a free-list pool recycles them instead of paying an
+allocation plus an 11-keyword ``__init__`` per segment.  :func:`acquire`
+reinitialises a recycled instance with positional stores and marks it
+poolable; the consumer that terminates a packet's life (the receiving
+transport agent) hands it back with :meth:`Packet.release`.  Packets built
+through the plain constructor are never pooled, so externally-held instances
+(tests, ad-hoc traffic) can never be mutated behind the holder's back, and
+``release`` flips the poolable flag off before recycling so a double release
+can never alias one object twice in the pool.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from typing import Optional
 
 _packet_counter = itertools.count(1)
+
+#: Recycled packets; the bounded deque self-evicts its oldest entry when
+#: full, so release sites never pay a length check and a burst cannot pin
+#: memory forever.
+_POOL_LIMIT = 1024
+_pool: deque = deque(maxlen=_POOL_LIMIT)
 
 
 class Packet:
@@ -76,6 +94,7 @@ class Packet:
         "enqueued_at",
         "hops",
         "ecn",
+        "_poolable",
     )
 
     def __init__(
@@ -120,6 +139,17 @@ class Packet:
         self.enqueued_at = 0.0
         self.hops = 0
         self.ecn = False
+        self._poolable = False
+
+    def release(self) -> None:
+        """Return a pool-acquired packet to the free list.
+
+        No-op for constructor-built packets and for packets already released
+        (the flag flip makes double release harmless).
+        """
+        if self._poolable:
+            self._poolable = False
+            _pool.append(self)
 
     @property
     def end_seq(self) -> int:
@@ -138,3 +168,147 @@ class Packet:
             f"flow={self.flow_id} sub={self.subflow_id} seq={self.seq} ack={self.ack} "
             f"len={self.payload_len})"
         )
+
+
+_new_packet = Packet.__new__
+
+
+def acquire(
+    src: str,
+    dst: str,
+    size: int,
+    tag: Optional[int],
+    flow_id: int,
+    subflow_id: int,
+    protocol: str,
+    seq: int,
+    payload_len: int,
+    is_ack: bool,
+    ack: int,
+    dsn: int,
+    dack: int,
+    is_retransmission: bool,
+    sack_blocks: tuple,
+    ts_echo: float,
+    created_at: float,
+) -> Packet:
+    """Pool-aware packet constructor for the per-segment hot path.
+
+    Positional-only by convention (every argument, every time): the cost of
+    keyword processing is what this function exists to avoid.  ``size`` must
+    already be an int and ``sack_blocks`` already a tuple -- the transport
+    agents guarantee both, so the defensive coercions of ``__init__`` are
+    skipped here.
+    """
+    pool = _pool
+    packet = pool.pop() if pool else _new_packet(Packet)
+    packet.packet_id = next(_packet_counter)
+    packet.src = src
+    packet.dst = dst
+    packet.size = size
+    packet.tag = tag
+    packet.flow_id = flow_id
+    packet.subflow_id = subflow_id
+    packet.protocol = protocol
+    packet.seq = seq
+    packet.payload_len = payload_len
+    packet.is_ack = is_ack
+    packet.ack = ack
+    packet.dsn = dsn
+    packet.dack = dack
+    packet.is_retransmission = is_retransmission
+    packet.sack_blocks = sack_blocks
+    packet.ts_echo = ts_echo
+    packet.created_at = created_at
+    packet.enqueued_at = 0.0
+    packet.hops = 0
+    packet.ecn = False
+    packet._poolable = True
+    return packet
+
+
+def acquire_data(
+    src: str,
+    dst: str,
+    size: int,
+    tag: Optional[int],
+    flow_id: int,
+    subflow_id: int,
+    seq: int,
+    payload_len: int,
+    dsn: int,
+    is_retransmission: bool,
+    created_at: float,
+) -> Packet:
+    """:func:`acquire` specialised for TCP data segments (constants folded)."""
+    pool = _pool
+    packet = pool.pop() if pool else _new_packet(Packet)
+    packet.packet_id = next(_packet_counter)
+    packet.src = src
+    packet.dst = dst
+    packet.size = size
+    packet.tag = tag
+    packet.flow_id = flow_id
+    packet.subflow_id = subflow_id
+    packet.protocol = "tcp"
+    packet.seq = seq
+    packet.payload_len = payload_len
+    packet.is_ack = False
+    packet.ack = 0
+    packet.dsn = dsn
+    packet.dack = 0
+    packet.is_retransmission = is_retransmission
+    packet.sack_blocks = ()
+    packet.ts_echo = -1.0
+    packet.created_at = created_at
+    packet.enqueued_at = 0.0
+    packet.hops = 0
+    packet.ecn = False
+    packet._poolable = True
+    return packet
+
+
+def acquire_ack(
+    src: str,
+    dst: str,
+    size: int,
+    tag: Optional[int],
+    flow_id: int,
+    subflow_id: int,
+    ack: int,
+    dack: int,
+    sack_blocks: tuple,
+    ts_echo: float,
+    created_at: float,
+) -> Packet:
+    """:func:`acquire` specialised for pure TCP ACKs (constants folded)."""
+    pool = _pool
+    packet = pool.pop() if pool else _new_packet(Packet)
+    packet.packet_id = next(_packet_counter)
+    packet.src = src
+    packet.dst = dst
+    packet.size = size
+    packet.tag = tag
+    packet.flow_id = flow_id
+    packet.subflow_id = subflow_id
+    packet.protocol = "tcp"
+    packet.seq = 0
+    packet.payload_len = 0
+    packet.is_ack = True
+    packet.ack = ack
+    packet.dsn = 0
+    packet.dack = dack
+    packet.is_retransmission = False
+    packet.sack_blocks = sack_blocks
+    packet.ts_echo = ts_echo
+    packet.created_at = created_at
+    packet.enqueued_at = 0.0
+    packet.hops = 0
+    packet.ecn = False
+    packet._poolable = True
+    return packet
+
+
+def pool_size() -> int:
+    """Number of packets currently waiting in the free list (for tests)."""
+    return len(_pool)

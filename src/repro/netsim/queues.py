@@ -45,6 +45,8 @@ class QueueStats:
 class Queue(ABC):
     """Abstract bounded packet queue."""
 
+    __slots__ = ("capacity_packets", "stats", "_queue", "_bytes")
+
     def __init__(self, capacity_packets: int = 100) -> None:
         if capacity_packets <= 0:
             raise ValueError("queue capacity must be positive")
@@ -99,8 +101,31 @@ class Queue(ABC):
 class DropTailQueue(Queue):
     """FIFO queue that drops arrivals once ``capacity_packets`` are queued."""
 
+    __slots__ = ()
+
     def accepts(self, packet: Packet, now: float) -> bool:
         return len(self._queue) < self.capacity_packets
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        # Specialised hot path: same behaviour as the base implementation,
+        # without the virtual accepts() dispatch (this runs once per packet
+        # offered to a busy link).
+        queue = self._queue
+        stats = self.stats
+        size = packet.size
+        if len(queue) >= self.capacity_packets:
+            stats.dropped += 1
+            stats.bytes_dropped += size
+            return False
+        packet.enqueued_at = now
+        queue.append(packet)
+        self._bytes += size
+        stats.enqueued += 1
+        stats.bytes_enqueued += size
+        depth = len(queue)
+        if depth > stats.max_depth:
+            stats.max_depth = depth
+        return True
 
 
 class REDQueue(Queue):
@@ -110,6 +135,8 @@ class REDQueue(Queue):
     average queue length exceeds ``min_threshold``; above ``max_threshold``
     the drop probability ramps from ``max_p`` to 1 (gentle RED).
     """
+
+    __slots__ = ("min_threshold", "max_threshold", "max_p", "weight", "_avg", "_rng")
 
     def __init__(
         self,

@@ -27,6 +27,11 @@ from .packet import Packet
 class RoutingTable(ABC):
     """Interface used by nodes to pick the next hop of a packet."""
 
+    #: Monotonic mutation counter.  Implementations that can change after
+    #: construction (``TagRoutingTable.install_path``) bump it so that nodes
+    #: holding a memoised next-hop cache know to invalidate.
+    version: int = 0
+
     @abstractmethod
     def next_hop(self, node: str, packet: Packet) -> Optional[str]:
         """Return the neighbour to forward ``packet`` to from ``node``.
@@ -34,6 +39,15 @@ class RoutingTable(ABC):
         ``None`` means the packet has reached a node with no route; the caller
         treats this as a routing error and drops the packet.
         """
+
+    def hop_cache_safe(self) -> bool:
+        """True when ``next_hop`` depends only on ``(node, dst, tag)``.
+
+        Nodes may then memoise the resolved outgoing link per destination and
+        tag (invalidated via :attr:`version`).  Tables that hash additional
+        per-flow state (ECMP) must return False.
+        """
+        return False
 
 
 class StaticRoutingTable(RoutingTable):
@@ -51,6 +65,9 @@ class StaticRoutingTable(RoutingTable):
     def next_hop(self, node: str, packet: Packet) -> Optional[str]:
         return self._next.get((node, packet.dst))
 
+    def hop_cache_safe(self) -> bool:
+        return True
+
 
 class TagRoutingTable(RoutingTable):
     """Deterministic per-tag forwarding (the paper's tagging mechanism).
@@ -66,6 +83,7 @@ class TagRoutingTable(RoutingTable):
         self._defaults: Dict[Tuple[str, str], str] = {}
         self._fallback = fallback
         self._installed_paths: Dict[Tuple[str, str, Optional[int]], List[str]] = {}
+        self.version = 0
 
     # ------------------------------------------------------------------
     def install_path(
@@ -94,6 +112,7 @@ class TagRoutingTable(RoutingTable):
         """
         if len(nodes) < 2:
             raise RoutingError("a path needs at least two nodes")
+        self.version += 1
         src, dst = nodes[0], nodes[-1]
         if len(set(nodes)) != len(nodes):
             raise RoutingError(f"path {nodes!r} visits a node twice")
@@ -128,6 +147,9 @@ class TagRoutingTable(RoutingTable):
         if self._fallback is not None:
             return self._fallback.next_hop(node, packet)
         return None
+
+    def hop_cache_safe(self) -> bool:
+        return self._fallback is None or self._fallback.hop_cache_safe()
 
 
 class EcmpRoutingTable(RoutingTable):

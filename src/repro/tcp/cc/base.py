@@ -40,6 +40,8 @@ class CongestionControl(ABC):
 
     name = "base"
 
+    __slots__ = ("mss", "cwnd", "ssthresh", "srtt", "losses", "timeouts", "acked_bytes_total")
+
     def __init__(
         self,
         mss: int = DEFAULT_MSS,

@@ -19,6 +19,18 @@ class CubicCongestionControl(CongestionControl):
 
     name = "cubic"
 
+    __slots__ = (
+        "fast_convergence",
+        "tcp_friendliness",
+        "hystart",
+        "_w_max",
+        "_k",
+        "_epoch_start",
+        "_w_est",
+        "_acks_in_epoch",
+        "_min_rtt",
+    )
+
     #: Cubic scaling constant (segments / s^3).
     C = 0.4
     #: Multiplicative decrease factor.
@@ -75,18 +87,32 @@ class CubicCongestionControl(CongestionControl):
         RTT has risen noticeably above its minimum (HyStart); without it the
         initial window overshoot fills the bottleneck queue and causes a burst
         of losses, which is neither realistic nor kind to the measurements.
+
+        The base-class ACK bookkeeping is inlined below (this runs once per
+        ACK of every subflow); the update rules themselves are identical to
+        :meth:`CongestionControl.on_ack`.
         """
-        if acked_bytes > 0 and srtt > 0:
-            if self._min_rtt is None or srtt < self._min_rtt:
-                self._min_rtt = srtt
+        if acked_bytes <= 0:
+            return
+        if srtt > 0:
+            min_rtt = self._min_rtt
+            if min_rtt is None or srtt < min_rtt:
+                self._min_rtt = min_rtt = srtt
             if (
                 self.hystart
-                and self.in_slow_start
-                and self._min_rtt is not None
-                and srtt > self._min_rtt * self.HYSTART_RTT_FACTOR + self.HYSTART_DELAY_FLOOR
+                and self.cwnd < self.ssthresh
+                and srtt > min_rtt * self.HYSTART_RTT_FACTOR + self.HYSTART_DELAY_FLOOR
             ):
                 self.ssthresh = max(self.cwnd, MIN_CWND_SEGMENTS)
-        super().on_ack(acked_bytes, srtt, now)
+        self.srtt = srtt
+        self.acked_bytes_total += acked_bytes
+        acked_segments = acked_bytes / self.mss
+        if self.cwnd < self.ssthresh:
+            self.cwnd += acked_segments
+            if self.cwnd > self.ssthresh:
+                self.cwnd = self.ssthresh
+        else:
+            self._congestion_avoidance(acked_segments, srtt, now)
 
     def _congestion_avoidance(self, acked_segments: float, srtt: float, now: float) -> None:
         rtt = max(srtt, 1e-4)

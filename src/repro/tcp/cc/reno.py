@@ -14,6 +14,8 @@ class RenoCongestionControl(CongestionControl):
 
     name = "reno"
 
+    __slots__ = ()
+
     def _congestion_avoidance(self, acked_segments: float, srtt: float, now: float) -> None:
         if self.cwnd <= 0:
             self.cwnd = 1.0

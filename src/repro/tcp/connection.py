@@ -28,6 +28,8 @@ class BulkDataAdapter:
     stops granting data once the transfer size has been handed out.
     """
 
+    __slots__ = ("total_bytes", "offset", "acked_bytes", "last_ack_time")
+
     def __init__(self, total_bytes: Optional[int] = None) -> None:
         self.total_bytes = total_bytes
         self.offset = 0

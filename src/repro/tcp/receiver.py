@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Optional, Protocol, Tuple
 
+from ..netsim.packet import _pool as _packet_pool
+from ..netsim.packet import acquire_ack as _acquire_ack
 from ..units import ACK_SIZE
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -42,6 +44,26 @@ class ReceiverStats:
 class TcpReceiver:
     """The receiving half of one TCP subflow."""
 
+    __slots__ = (
+        "host",
+        "sim",
+        "_host_send",
+        "_route_enabled",
+        "_route_key",
+        "_route_link",
+        "_route_version",
+        "peer",
+        "flow_id",
+        "subflow_id",
+        "tag",
+        "connection_sink",
+        "ack_size",
+        "stats",
+        "rcv_nxt",
+        "_out_of_order",
+        "_last_dack",
+    )
+
     def __init__(
         self,
         host: "Host",
@@ -55,6 +77,13 @@ class TcpReceiver:
     ) -> None:
         self.host = host
         self.sim = host.sim
+        self._host_send = host.send  # bound once; runs per generated ACK
+        # Receiver-held egress memo for ACKs (same scheme as the sender's
+        # _send_packet: fixed (peer, tag) route, invalidated by version).
+        self._route_enabled = getattr(host, "_hop_cache", None) is not None
+        self._route_key = (peer, tag)
+        self._route_link = None
+        self._route_version = -1
         self.peer = peer
         self.flow_id = flow_id
         self.subflow_id = subflow_id
@@ -73,23 +102,82 @@ class TcpReceiver:
         if packet.is_ack:
             return
         now = self.sim.now
-        self.stats.segments_received += 1
+        stats = self.stats
+        stats.segments_received += 1
         seq, length, dsn = packet.seq, packet.payload_len, packet.dsn
 
-        if seq == self.rcv_nxt:
-            self._deliver(seq, length, dsn, now)
-            self._drain_buffer(now)
-        elif seq > self.rcv_nxt:
-            self.stats.out_of_order += 1
+        rcv_nxt = self.rcv_nxt
+        if seq == rcv_nxt:
+            # Fast path: the expected in-order segment (_deliver inlined).
+            if length > 0:
+                self.rcv_nxt = seq + length
+                stats.bytes_received += length
+                sink = self.connection_sink
+                if sink is not None:
+                    self._last_dack = sink.on_subflow_data(
+                        self.subflow_id, dsn, length, now
+                    )
+            if self._out_of_order:
+                self._drain_buffer(now)
+        elif seq > rcv_nxt:
+            stats.out_of_order += 1
             self._out_of_order.setdefault(seq, (length, dsn))
         else:
             # Fully or partially old data (a spurious retransmission).
-            self.stats.duplicates += 1
-            if seq + length > self.rcv_nxt:
-                overlap = self.rcv_nxt - seq
-                self._deliver(self.rcv_nxt, length - overlap, dsn + overlap, now)
+            stats.duplicates += 1
+            if seq + length > rcv_nxt:
+                overlap = rcv_nxt - seq
+                self._deliver(rcv_nxt, length - overlap, dsn + overlap, now)
                 self._drain_buffer(now)
-        self._send_ack(ts_echo=packet.created_at)
+        ts_echo = packet.created_at
+        # The data segment's life ends here; recycle it (Packet.release
+        # inlined -- no-op for packets that did not come from the pool).
+        # Recycling happens before the ACK is built so the freshly-freed
+        # packet is immediately reusable for that ACK.
+        if packet._poolable:
+            packet._poolable = False
+            _packet_pool.append(packet)
+        # _send_ack inlined (one call per delivered data segment).  Pure-ACK
+        # fast path: with an empty reassembly buffer the SACK merge (and its
+        # tuple churn) is skipped and the shared empty tuple is carried.
+        out_of_order = self._out_of_order
+        sack_blocks = self._sack_blocks() if out_of_order else ()
+        ack = _acquire_ack(
+            self.host.name,
+            self.peer,
+            self.ack_size,
+            self.tag,
+            self.flow_id,
+            self.subflow_id,
+            self.rcv_nxt,
+            self._last_dack,
+            sack_blocks,
+            ts_echo,
+            now,
+        )
+        self.stats.acks_sent += 1
+        self._send_packet(ack)
+
+    def _send_packet(self, packet: "Packet") -> None:
+        """Hand ``packet`` to the network, via the memoised egress link.
+
+        Same protocol as :meth:`TcpSender._send_packet`: the resolved link is
+        adopted from the host's hop cache and re-validated against the
+        routing table's mutation version only.
+        """
+        if self._route_enabled:
+            link = self._route_link
+            version = self.host.routing.version
+            if link is not None and self._route_version == version:
+                link.send(packet)
+                return
+            self._host_send(packet)
+            # Adopt whatever the host's hop cache resolved (None on a
+            # routing drop: stays on the slow path and retries).
+            self._route_link = self.host._hop_cache.get(self._route_key)
+            self._route_version = version
+            return
+        self._host_send(packet)
 
     # ------------------------------------------------------------------
     def _deliver(self, seq: int, length: int, dsn: int, now: float) -> None:
@@ -125,27 +213,6 @@ class TcpReceiver:
                 start, end = seq, seq + length
         blocks.append((start, end))
         return tuple(blocks[:max_blocks])
-
-    def _send_ack(self, ts_echo: float = -1.0) -> None:
-        from ..netsim.packet import Packet  # local import to avoid cycles
-
-        ack = Packet(
-            src=self.host.name,
-            dst=self.peer,
-            size=self.ack_size,
-            tag=self.tag,
-            flow_id=self.flow_id,
-            subflow_id=self.subflow_id,
-            protocol="tcp",
-            is_ack=True,
-            ack=self.rcv_nxt,
-            dack=self._last_dack,
-            sack_blocks=self._sack_blocks(),
-            ts_echo=ts_echo,
-            created_at=self.sim.now,
-        )
-        self.stats.acks_sent += 1
-        self.host.send(ack)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

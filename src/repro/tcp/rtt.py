@@ -28,6 +28,20 @@ class RttEstimator:
         RTO used before the first RTT sample.
     """
 
+    __slots__ = (
+        "alpha",
+        "beta",
+        "min_rto",
+        "max_rto",
+        "initial_rto",
+        "srtt",
+        "rttvar",
+        "min_rtt",
+        "latest_rtt",
+        "samples",
+        "_rto",
+    )
+
     def __init__(
         self,
         alpha: float = 0.125,
@@ -46,6 +60,10 @@ class RttEstimator:
         self.min_rtt: Optional[float] = None
         self.latest_rtt: Optional[float] = None
         self.samples = 0
+        # The RTO only moves when a sample arrives, but it is *read* on every
+        # transmission and every ACK (timer re-arm), so it is cached here and
+        # refreshed at the end of update().
+        self._rto = initial_rto
 
     # ------------------------------------------------------------------
     def update(self, sample: float) -> None:
@@ -56,21 +74,23 @@ class RttEstimator:
         self.samples += 1
         if self.min_rtt is None or sample < self.min_rtt:
             self.min_rtt = sample
-        if self.srtt is None:
-            self.srtt = sample
-            self.rttvar = sample / 2.0
-            return
-        assert self.rttvar is not None
-        self.rttvar = (1.0 - self.beta) * self.rttvar + self.beta * abs(self.srtt - sample)
-        self.srtt = (1.0 - self.alpha) * self.srtt + self.alpha * sample
+        srtt = self.srtt
+        if srtt is None:
+            self.srtt = srtt = sample
+            self.rttvar = rttvar = sample / 2.0
+        else:
+            diff = srtt - sample
+            if diff < 0:
+                diff = -diff
+            self.rttvar = rttvar = (1.0 - self.beta) * self.rttvar + self.beta * diff
+            self.srtt = srtt = (1.0 - self.alpha) * srtt + self.alpha * sample
+        rto = srtt + max(4.0 * rttvar, 0.0001)
+        self._rto = min(max(rto, self.min_rto), self.max_rto)
 
     @property
     def rto(self) -> float:
         """Current retransmission timeout in seconds."""
-        if self.srtt is None or self.rttvar is None:
-            return self.initial_rto
-        rto = self.srtt + max(4.0 * self.rttvar, 0.0001)
-        return min(max(rto, self.min_rto), self.max_rto)
+        return self._rto
 
     def smoothed(self, default: float = 0.01) -> float:
         """SRTT, or ``default`` before the first sample."""

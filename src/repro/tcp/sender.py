@@ -16,9 +16,12 @@ their connection-level data sequence numbers to the subflow.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Protocol, Tuple
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Optional, Protocol, Tuple
 
 from ..errors import ProtocolError
+from ..netsim.packet import _pool as _packet_pool
+from ..netsim.packet import acquire_data as _acquire_data
 from ..units import DEFAULT_MSS, HEADER_SIZE
 from .cc.base import CongestionControl
 from .rtt import RttEstimator
@@ -64,6 +67,29 @@ class _SegmentInfo:
         self.lost = False
         self.lost_pending = False
         self.retx_in_recovery = False
+
+
+#: Free list recycling :class:`_SegmentInfo` records: one is created per
+#: transmitted segment and retired on the cumulative ACK that covers it, so
+#: the steady state churns exactly cwnd-many records per RTT.
+_SEGMENT_POOL_LIMIT = 2048
+_segment_pool: deque = deque(maxlen=_SEGMENT_POOL_LIMIT)
+_new_segment = _SegmentInfo.__new__
+
+
+def _acquire_segment(seq: int, length: int, dsn: int, sent_at: float) -> _SegmentInfo:
+    pool = _segment_pool
+    info = pool.pop() if pool else _new_segment(_SegmentInfo)
+    info.seq = seq
+    info.length = length
+    info.dsn = dsn
+    info.sent_at = sent_at
+    info.retransmitted = False
+    info.sacked = False
+    info.lost = False
+    info.lost_pending = False
+    info.retx_in_recovery = False
+    return info
 
 
 class SenderStats:
@@ -112,6 +138,39 @@ class TcpSender:
 
     DUPACK_THRESHOLD = 3
 
+    __slots__ = (
+        "host",
+        "sim",
+        "_host_send",
+        "_route_enabled",
+        "_route_key",
+        "_route_link",
+        "_route_version",
+        "dst",
+        "flow_id",
+        "subflow_id",
+        "cc",
+        "data_provider",
+        "tag",
+        "mss",
+        "rtt",
+        "stats",
+        "snd_una",
+        "snd_nxt",
+        "_segments",
+        "_seg_queue",
+        "_sacked_bytes",
+        "_lost_pending_bytes",
+        "_dupacks",
+        "_in_fast_recovery",
+        "_recover",
+        "_rto_event",
+        "_rto_deadline",
+        "_rto_fire_at",
+        "_rto_backoff",
+        "_started",
+    )
+
     def __init__(
         self,
         host: "Host",
@@ -127,6 +186,15 @@ class TcpSender:
     ) -> None:
         self.host = host
         self.sim: "Simulator" = host.sim
+        self._host_send = host.send  # bound once; runs per transmitted segment
+        # Sender-held egress memo: every segment of this subflow routes by
+        # the same (dst, tag), so once the host's hop cache resolves the
+        # link it is adopted here and re-validated against the routing
+        # table's mutation version only (see _send_packet).
+        self._route_enabled = getattr(host, "_hop_cache", None) is not None
+        self._route_key = (dst, tag)
+        self._route_link = None
+        self._route_version = -1
         self.dst = dst
         self.flow_id = flow_id
         self.subflow_id = subflow_id
@@ -140,6 +208,11 @@ class TcpSender:
         self.snd_una = 0
         self.snd_nxt = 0
         self._segments: Dict[int, _SegmentInfo] = {}
+        #: The same segment records in ascending-seq order (new segments only
+        #: ever append at snd_nxt; retransmissions reuse their entry), so the
+        #: cumulative-ACK prefix pops from the left in O(1) per segment and
+        #: recovery walks holes without re-sorting.
+        self._seg_queue: Deque[_SegmentInfo] = deque()
         self._sacked_bytes = 0
         self._lost_pending_bytes = 0
         self._dupacks = 0
@@ -199,17 +272,54 @@ class TcpSender:
 
     # ------------------------------------------------------------------ send
     def _try_send(self) -> None:
-        while self.pipe + self.mss <= self.cc.cwnd_bytes:
+        # Hot loop: ``pipe`` and ``effective_window`` are inlined (the window
+        # only changes on ACK/loss events, never inside this loop, so the
+        # cwnd-bytes bound is hoisted), and so is the new-segment half of
+        # _transmit_segment (a fresh seq == snd_nxt is never in _segments,
+        # so the bookkeeping reduces to create-and-append).
+        mss = self.mss
+        cc = self.cc
+        cwnd_bytes = cc.cwnd * cc.mss
+        request_data = self.data_provider.request_data
+        while True:
+            pipe = self.snd_nxt - self.snd_una - self._sacked_bytes - self._lost_pending_bytes
+            if pipe < 0:
+                pipe = 0
+            if pipe + mss > cwnd_bytes:
+                return
             if self._in_fast_recovery and self._retransmit_next_hole():
                 continue
-            grant = self.data_provider.request_data(self, self.mss)
+            grant = request_data(self, mss)
             if grant is None:
-                break
+                return
             dsn, length = grant
-            if length <= 0 or length > self.mss:
+            if length <= 0 or length > mss:
                 raise ProtocolError(f"data provider granted invalid length {length}")
-            self._transmit_segment(self.snd_nxt, length, dsn, is_retransmission=False)
-            self.snd_nxt += length
+            seq = self.snd_nxt
+            now = self.sim.now
+            packet = _acquire_data(
+                self.host.name,
+                self.dst,
+                length + HEADER_SIZE,
+                self.tag,
+                self.flow_id,
+                self.subflow_id,
+                seq,
+                length,
+                dsn,
+                False,
+                now,
+            )
+            info = _acquire_segment(seq, length, dsn, now)
+            self._segments[seq] = info
+            self._seg_queue.append(info)
+            stats = self.stats
+            stats.segments_sent += 1
+            stats.bytes_sent += length
+            self._send_packet(packet)
+            if self._rto_event is None:
+                self._arm_rto()
+            self.snd_nxt = seq + length
 
     def _retransmit_next_hole(self) -> bool:
         """Retransmit the lowest unSACKed segment of the recovery window.
@@ -217,10 +327,10 @@ class TcpSender:
         Returns True if a segment was retransmitted, False if every candidate
         has already been retransmitted during this recovery episode.
         """
-        for seq in sorted(self._segments):
-            if seq >= self._recover:
+        recover = self._recover
+        for info in self._seg_queue:
+            if info.seq >= recover:
                 break
-            info = self._segments[seq]
             if info.sacked or not info.lost or info.retx_in_recovery:
                 continue
             info.retx_in_recovery = True
@@ -232,45 +342,63 @@ class TcpSender:
         return False
 
     def _transmit_segment(self, seq: int, length: int, dsn: int, *, is_retransmission: bool) -> None:
-        from ..netsim.packet import Packet  # local import to avoid cycles
-
         now = self.sim.now
-        packet = Packet(
-            src=self.host.name,
-            dst=self.dst,
-            size=length + HEADER_SIZE,
-            tag=self.tag,
-            flow_id=self.flow_id,
-            subflow_id=self.subflow_id,
-            protocol="tcp",
-            seq=seq,
-            payload_len=length,
-            dsn=dsn,
-            is_retransmission=is_retransmission,
-            created_at=now,
+        packet = _acquire_data(
+            self.host.name,
+            self.dst,
+            length + HEADER_SIZE,
+            self.tag,
+            self.flow_id,
+            self.subflow_id,
+            seq,
+            length,
+            dsn,
+            is_retransmission,
+            now,
         )
-        info = self._segments.get(seq)
+        segments = self._segments
+        info = segments.get(seq)
         if info is None:
-            info = _SegmentInfo(seq, length, dsn, now)
-            self._segments[seq] = info
+            segments[seq] = info = _acquire_segment(seq, length, dsn, now)
+            self._seg_queue.append(info)
         else:
             info.sent_at = now
+        stats = self.stats
         if is_retransmission:
             info.retransmitted = True
-            self.stats.retransmissions += 1
-        self.stats.segments_sent += 1
-        self.stats.bytes_sent += length
-        self.host.send(packet)
-        self._arm_rto()
+            stats.retransmissions += 1
+        stats.segments_sent += 1
+        stats.bytes_sent += length
+        self._send_packet(packet)
+        if self._rto_event is None:
+            self._arm_rto()
+
+    def _send_packet(self, packet: "Packet") -> None:
+        """Hand ``packet`` to the network, via the memoised egress link."""
+        if self._route_enabled:
+            link = self._route_link
+            version = self.host.routing.version
+            if link is not None and self._route_version == version:
+                link.send(packet)
+                return
+            self._host_send(packet)
+            # Adopt whatever the host's hop cache resolved (None on a
+            # routing drop: stays on the slow path and retries).
+            self._route_link = self.host._hop_cache.get(self._route_key)
+            self._route_version = version
+            return
+        self._host_send(packet)
 
     # ------------------------------------------------------------------ ACKs
     def handle_packet(self, packet: "Packet") -> None:
-        """Entry point for packets delivered to this sender (ACKs)."""
+        """Entry point for packets delivered to this sender (ACKs).
+
+        The whole per-ACK reaction is inlined here (one call per delivered
+        ACK): RTT sampling, SACK processing, cumulative/duplicate dispatch,
+        window-driven transmission, and recycling of the ACK packet.
+        """
         if not packet.is_ack:
             return
-        self._on_ack(packet)
-
-    def _on_ack(self, packet: "Packet") -> None:
         ack = packet.ack
         now = self.sim.now
         if ack > self.snd_nxt:
@@ -278,15 +406,25 @@ class TcpSender:
         # RFC 7323 timestamps: every ACK echoes the send time of the data
         # segment that triggered it, giving an unbiased RTT sample even for
         # ACKs of out-of-order or retransmitted data.
-        if packet.ts_echo >= 0:
-            sample = now - packet.ts_echo
+        ts_echo = packet.ts_echo
+        if ts_echo >= 0:
+            sample = now - ts_echo
             if sample > 0:
                 self.rtt.update(sample)
-        self._apply_sack(packet.sack_blocks)
-        if ack > self.snd_una:
+        if packet.sack_blocks:
+            self._apply_sack(packet.sack_blocks)
+        snd_una = self.snd_una
+        if ack > snd_una:
             self._on_new_ack(ack, now)
-        elif ack == self.snd_una and self.flight_size > 0:
+        elif ack == snd_una and self.snd_nxt > snd_una:
             self._on_dupack(now)
+        # The ACK's life ends here; recycle it (Packet.release inlined --
+        # no-op for packets that did not come from the pool).  Recycling
+        # happens before _try_send so the freshly-freed packet is available
+        # for the segments that this very ACK clocks out.
+        if packet._poolable:
+            packet._poolable = False
+            _packet_pool.append(packet)
         self._try_send()
 
     def _apply_sack(self, blocks) -> None:
@@ -320,26 +458,53 @@ class TcpSender:
     def _on_new_ack(self, ack: int, now: float) -> None:
         newly_acked = ack - self.snd_una
         self.stats.bytes_acked += newly_acked
-        if self.rtt.samples == 0:
+        rtt = self.rtt
+        if rtt.samples == 0:
             # Fallback when the peer does not echo timestamps.
             self._sample_rtt(ack, now)
-        self._ack_segments(ack, now)
+        # _ack_segments inlined (runs once per cumulative ACK): _seg_queue is
+        # ordered by seq (snd_nxt only grows, retransmissions reuse their
+        # entry), so the ACKed prefix pops from the left, no scan or sort.
+        queue = self._seg_queue
+        if queue:
+            segments = self._segments
+            on_data_acked = self.data_provider.on_data_acked
+            pool = _segment_pool
+            while queue:
+                info = queue[0]
+                if info.seq + info.length > ack:
+                    break
+                queue.popleft()
+                del segments[info.seq]
+                length = info.length
+                if info.sacked:
+                    self._sacked_bytes -= length
+                if info.lost_pending:
+                    self._lost_pending_bytes -= length
+                on_data_acked(self, info.dsn, length, now)
+                pool.append(info)
         self.snd_una = ack
         self._dupacks = 0
         self._rto_backoff = 1.0
 
+        cc = self.cc
+        # rtt.smoothed() inlined: srtt, or the estimator's 0.01 s default
+        # before the first sample.
+        srtt = rtt.srtt
+        if srtt is None:
+            srtt = 0.01
         if self._in_fast_recovery:
             if ack >= self._recover:
                 self._exit_fast_recovery()
-            elif self.cc.in_slow_start:
+            elif cc.in_slow_start:
                 # Post-timeout recovery: slow start clocks out the
                 # retransmissions, so the window must grow on partial ACKs.
-                self.cc.on_ack(newly_acked, self.rtt.smoothed(), now)
+                cc.on_ack(newly_acked, srtt, now)
             # Otherwise partial ACKs keep the recovery loop going via _try_send().
         else:
-            self.cc.on_ack(newly_acked, self.rtt.smoothed(), now)
+            cc.on_ack(newly_acked, srtt, now)
 
-        if self.flight_size == 0:
+        if self.snd_nxt == ack:
             self._cancel_rto()
         else:
             self._arm_rto(restart=True)
@@ -386,23 +551,6 @@ class TcpSender:
             if sample > 0:
                 self.rtt.update(sample)
 
-    def _ack_segments(self, ack: int, now: float) -> None:
-        # _segments is ordered by seq (snd_nxt only grows, retransmissions
-        # reuse their entry), so a cumulative ACK always covers a prefix and
-        # the scan can stop at the first segment above it.
-        acked = []
-        for seq, info in self._segments.items():
-            if seq + info.length > ack:
-                break
-            acked.append(seq)
-        for seq in acked:
-            info = self._segments.pop(seq)
-            if info.sacked:
-                self._sacked_bytes -= info.length
-            if info.lost_pending:
-                self._lost_pending_bytes -= info.length
-            self.data_provider.on_data_acked(self, info.dsn, info.length, now)
-
     # ------------------------------------------------------------------ RTO
     def _arm_rto(self, restart: bool = False) -> None:
         """(Re-)arm the retransmission timer.
@@ -415,7 +563,9 @@ class TcpSender:
         """
         if self._rto_event is not None and not restart:
             return
-        deadline = self.sim.now + self.rtt.rto * self._rto_backoff
+        # rtt._rto is the cached value behind the public rto property; the
+        # direct read skips a descriptor call on every ACK.
+        deadline = self.sim.now + self.rtt._rto * self._rto_backoff
         self._rto_deadline = deadline
         if self._rto_event is not None:
             if self._rto_fire_at <= deadline:

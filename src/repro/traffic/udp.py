@@ -13,7 +13,7 @@ from typing import Optional
 
 from ..errors import ConfigurationError
 from ..netsim.network import Network
-from ..netsim.packet import Packet
+from ..netsim.packet import Packet, acquire as _acquire_packet
 from ..units import DEFAULT_MSS, HEADER_SIZE, mbps, throughput_mbps
 
 _udp_flow_ids = itertools.count(50000)
@@ -34,6 +34,7 @@ class UdpSink:
         if self.first_arrival is None:
             self.first_arrival = packet.created_at
         self.last_arrival = packet.created_at
+        packet.release()
 
     def throughput_mbps(self) -> float:
         if self.first_arrival is None or self.last_arrival is None:
@@ -86,17 +87,24 @@ class UdpConstantBitRate:
         now = self.network.sim.now
         if self._stop_at is not None and now >= self._stop_at:
             return
-        packet = Packet(
-            src=self.src_host.name,
-            dst=self.dst,
-            size=self.packet_size + HEADER_SIZE,
-            tag=self.tag,
-            flow_id=self.flow_id,
-            subflow_id=0,
-            protocol="udp",
-            seq=self.packets_sent,
-            payload_len=self.packet_size,
-            created_at=now,
+        packet = _acquire_packet(
+            self.src_host.name,
+            self.dst,
+            self.packet_size + HEADER_SIZE,
+            self.tag,
+            self.flow_id,
+            0,  # subflow_id
+            "udp",
+            self.packets_sent,
+            self.packet_size,
+            False,  # is_ack
+            0,  # ack
+            0,  # dsn
+            0,  # dack
+            False,  # is_retransmission
+            (),  # sack_blocks
+            -1.0,  # ts_echo
+            now,
         )
         self.packets_sent += 1
         self.src_host.send(packet)
