@@ -6,7 +6,6 @@ benchmark times the fluid integration and cross-checks its ordering against
 the LP optimum.
 """
 
-import pytest
 
 from conftest import report
 

@@ -76,6 +76,24 @@ def multiflow_fairness_second() -> int:
     return result.events_processed
 
 
+def dynamics_link_flap_second() -> int:
+    """One simulated second of the link-flap failover dynamics scenario.
+
+    Exercises the dynamic-mode link paths (down/up, deadline-driven
+    delivery), the subflow lifecycle (path-down marking, DSN re-injection,
+    coupling-group leave/rejoin) and the dynamics metrics post-processing --
+    the per-packet workload behind every time-varying-network sweep.
+    """
+    from repro.experiments.harness import run_experiment
+    from repro.experiments.scenarios import link_flap_failover
+
+    config = link_flap_failover(
+        duration=1.0, down_at=0.3, up_at=0.6, sampling_interval=0.1
+    )
+    result = run_experiment(config)
+    return result.events_processed
+
+
 def test_engine_event_throughput(benchmark):
     processed = benchmark(pump_events)
     assert processed >= 50_000
@@ -105,6 +123,18 @@ def test_multiflow_fairness_simulated_second(benchmark):
         "MICRO-ENGINE (protocol-stack cost under competition)",
         [
             comparison_row("MICRO-ENGINE", "events per simulated second (MPTCP vs TCP fairness)",
+                           "(not a paper metric)", events),
+        ],
+    )
+
+
+def test_dynamics_link_flap_simulated_second(benchmark):
+    events = benchmark.pedantic(dynamics_link_flap_second, rounds=3, iterations=1)
+    assert events > 10_000
+    report(
+        "MICRO-ENGINE (dynamics cost: link flap failover)",
+        [
+            comparison_row("MICRO-ENGINE", "events per simulated second (link flap failover)",
                            "(not a paper metric)", events),
         ],
     )

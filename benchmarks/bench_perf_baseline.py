@@ -17,6 +17,7 @@ import sys
 import time
 
 from bench_netsim_engine import (
+    dynamics_link_flap_second,
     multiflow_fairness_second,
     pump_events,
     pump_events_with_handles,
@@ -32,6 +33,7 @@ BENCH_REGISTRY = {
     "engine_handle_path_events_per_sec": (pump_events_with_handles, 5),
     "tcp_pipeline_events_per_sec": (single_tcp_second, 3),
     "multiflow_fairness_events_per_sec": (multiflow_fairness_second, 3),
+    "dynamics_link_flap_events_per_sec": (dynamics_link_flap_second, 3),
 }
 
 
@@ -67,3 +69,4 @@ def test_write_perf_baseline():
     assert timings["engine_fast_path_events_per_sec"] > 100_000
     assert timings["tcp_pipeline_events_per_sec"] > 30_000
     assert timings["multiflow_fairness_events_per_sec"] > 20_000
+    assert timings["dynamics_link_flap_events_per_sec"] > 20_000

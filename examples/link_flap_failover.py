@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Link-flap failover: a default path dies mid-run and comes back.
+
+This walks through the network-dynamics pipeline end to end:
+
+1. build the Wi-Fi/cellular topology with a two-subflow MPTCP connection,
+2. schedule a LinkDown/LinkUp cycle on the Wi-Fi access link,
+3. run the measurement and plot the per-path throughput around the outage,
+4. report the failover gap and the post-event re-convergence times.
+
+Run with::
+
+    python examples/link_flap_failover.py
+"""
+
+from repro.experiments import link_flap_failover, plot_figure, run_experiment
+from repro.measure.report import format_table, print_section
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ 1+2
+    # The named scenario bundles the topology, the two tagged subflow paths
+    # (tag 1 = Wi-Fi, the default; tag 2 = cellular) and a DynamicsSpec that
+    # fails the Wi-Fi access link at 30% of the run and restores it at 60%.
+    config = link_flap_failover(congestion_control="lia", duration=5.0)
+    print_section("Scenario", config.dynamics.description)
+
+    # ------------------------------------------------------------------ 3
+    result = run_experiment(config)
+    print(
+        plot_figure(
+            result.per_path_series,
+            result.total_series,
+            title="link flap failover (1=Wi-Fi, 2=cellular)",
+        )
+    )
+
+    # ------------------------------------------------------------------ 4
+    report = result.dynamics
+    print_section(
+        "Dynamics metrics",
+        format_table(
+            ["event at s", "failover gap s", "re-convergence s"],
+            [
+                [
+                    f"{epoch.epoch:.2f}",
+                    "-" if epoch.failover_gap_s is None else f"{epoch.failover_gap_s:.2f}",
+                    "-" if epoch.reconvergence_s is None else f"{epoch.reconvergence_s:.2f}",
+                ]
+                for epoch in report.epochs
+            ],
+        ),
+    )
+    if report.tracking_error is not None:
+        print(f"Capacity-tracking error: {report.tracking_error:.4f}")
+    print(
+        "The tag-2 (cellular) curve carrying the total through the outage is "
+        "the failover; the tag-1 (Wi-Fi) curve rejoining after the LinkUp is "
+        "the recovery."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -4,7 +4,8 @@ The package provides four layers:
 
 * :mod:`repro.netsim` -- a discrete-event, packet-level network simulator
   (the Mininet substitute): topologies, rate-limited links, drop-tail queues,
-  tag-based routing and tshark-like captures.
+  tag-based routing, tshark-like captures and time-varying link dynamics
+  (rate/delay changes, failures, loss bursts on a :class:`Schedule`).
 * :mod:`repro.tcp` -- a packet-level TCP with Reno and CUBIC congestion
   control, NewReno loss recovery and RTO handling.
 * :mod:`repro.core` -- MPTCP over pre-selected overlapping paths: tagged
@@ -54,7 +55,19 @@ from .model import (
     max_min_fair_rates,
     max_total_throughput,
 )
-from .netsim import Network, PacketCapture, Simulator, Topology
+from .netsim import (
+    DynamicsSpec,
+    LinkDelayChange,
+    LinkDown,
+    LinkRateChange,
+    LinkUp,
+    LossBurst,
+    Network,
+    PacketCapture,
+    Schedule,
+    Simulator,
+    Topology,
+)
 from .tcp import TcpConnection
 from .topologies import (
     PAPER_DEFAULT_PATH_INDEX,
@@ -67,9 +80,15 @@ from .topologies import (
 
 __all__ = [
     "ConfigurationError",
+    "DynamicsSpec",
     "ExperimentConfig",
     "ExperimentResult",
     "FlowSpec",
+    "LinkDelayChange",
+    "LinkDown",
+    "LinkRateChange",
+    "LinkUp",
+    "LossBurst",
     "ModelError",
     "MptcpConnection",
     "MultiFlowConfig",
@@ -84,6 +103,7 @@ __all__ = [
     "ProtocolError",
     "ReproError",
     "RoutingError",
+    "Schedule",
     "SimulationError",
     "Simulator",
     "Subflow",

@@ -10,6 +10,9 @@ Sub-commands:
 * ``sweep``    -- run the OLIA default-path sweep (RES-OLIA-DEFAULT).
 * ``fairness`` -- run a named multi-flow competition scenario and print the
                   per-flow throughput plus fairness report.
+* ``dynamics`` -- run a named network-dynamics scenario (link flap, capacity
+                  step, handover) and report failover gap, re-convergence
+                  time and capacity-tracking error.
 """
 
 from __future__ import annotations
@@ -23,9 +26,11 @@ from . import __version__
 from .core.coupled import MULTIPATH_ALGORITHMS, PAPER_ALGORITHMS
 from .experiments.ascii_plot import plot_figure
 from .experiments.figures import fig2a_cubic, fig2b_olia, fig2c_fine, figure_with_algorithm
+from .experiments.harness import run_experiment
 from .experiments.multiflow import run_multiflow
 from .experiments.scenarios import (
     COMPETITION_SCENARIOS,
+    DYNAMICS_SCENARIOS,
     cc_comparison,
     olia_default_path_sweep,
     summarize_results,
@@ -69,7 +74,15 @@ def _build_parser() -> argparse.ArgumentParser:
     fairness = subparsers.add_parser(
         "fairness", help="run a multi-flow competition scenario and report fairness"
     )
-    fairness.add_argument("scenario", choices=sorted(COMPETITION_SCENARIOS))
+    fairness.add_argument(
+        "scenario",
+        nargs="?",
+        metavar="scenario",
+        help=f"one of: {', '.join(sorted(COMPETITION_SCENARIOS))}",
+    )
+    fairness.add_argument(
+        "--list", action="store_true", help="list the available scenarios and exit"
+    )
     fairness.add_argument(
         "--cc",
         default="lia",
@@ -79,7 +92,60 @@ def _build_parser() -> argparse.ArgumentParser:
     fairness.add_argument("--duration", type=float, default=4.0)
     fairness.add_argument("--bottleneck-mbps", type=float, default=50.0)
     fairness.add_argument("--json", action="store_true")
+
+    dynamics = subparsers.add_parser(
+        "dynamics",
+        help="run a network-dynamics scenario (failover / capacity step / handover)",
+    )
+    dynamics.add_argument(
+        "scenario",
+        nargs="?",
+        metavar="scenario",
+        help=f"one of: {', '.join(sorted(DYNAMICS_SCENARIOS))}",
+    )
+    dynamics.add_argument(
+        "--list", action="store_true", help="list the available scenarios and exit"
+    )
+    dynamics.add_argument(
+        "--cc",
+        default="lia",
+        choices=sorted(MULTIPATH_ALGORITHMS),
+        help="congestion control of the MPTCP connection",
+    )
+    dynamics.add_argument("--duration", type=float, default=5.0)
+    dynamics.add_argument("--no-plot", action="store_true", help="skip the terminal plot")
+    dynamics.add_argument("--json", action="store_true")
     return parser
+
+
+def _resolve_scenario(args: argparse.Namespace, registry: dict, kind: str) -> Optional[str]:
+    """Shared scenario-name handling for ``fairness`` and ``dynamics``.
+
+    Returns the scenario name, or None when the command should exit instead
+    (after ``--list`` or an error message); ``args.exit_code`` carries the
+    exit status for that case.
+    """
+    names = sorted(registry)
+    if args.list:
+        print("\n".join(names))
+        args.exit_code = 0
+        return None
+    if args.scenario is None:
+        print(
+            f"error: a scenario name is required; choose from: {', '.join(names)}",
+            file=sys.stderr,
+        )
+        args.exit_code = 2
+        return None
+    if args.scenario not in registry:
+        print(
+            f"error: unknown {kind} scenario {args.scenario!r}; "
+            f"choose from: {', '.join(names)}",
+            file=sys.stderr,
+        )
+        args.exit_code = 2
+        return None
+    return args.scenario
 
 
 def _command_lp(args: argparse.Namespace) -> int:
@@ -179,7 +245,10 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
 
 def _command_fairness(args: argparse.Namespace) -> int:
-    builder = COMPETITION_SCENARIOS[args.scenario]
+    scenario = _resolve_scenario(args, COMPETITION_SCENARIOS, "fairness")
+    if scenario is None:
+        return args.exit_code
+    builder = COMPETITION_SCENARIOS[scenario]
     kwargs = {"duration": args.duration, "bottleneck_mbps": args.bottleneck_mbps}
     if args.scenario == "two_mptcp_competition":
         kwargs["congestion_control_a"] = args.cc
@@ -219,6 +288,47 @@ def _command_fairness(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_dynamics(args: argparse.Namespace) -> int:
+    scenario = _resolve_scenario(args, DYNAMICS_SCENARIOS, "dynamics")
+    if scenario is None:
+        return args.exit_code
+    config = DYNAMICS_SCENARIOS[scenario](
+        congestion_control=args.cc, duration=args.duration
+    )
+    result = run_experiment(config)
+    report = result.dynamics
+
+    if args.json:
+        print(json.dumps(result.summary(), indent=2))
+        return 0
+
+    spec = config.dynamics
+    print(f"{scenario}: {spec.description}")
+    if not args.no_plot:
+        print()
+        print(
+            plot_figure(
+                result.per_path_series,
+                result.total_series,
+                title=f"{scenario} ({args.cc})",
+            )
+        )
+    print()
+    rows = [
+        [
+            f"{epoch.epoch:.2f}",
+            "-" if epoch.failover_gap_s is None else f"{epoch.failover_gap_s:.2f}",
+            "-" if epoch.reconvergence_s is None else f"{epoch.reconvergence_s:.2f}",
+        ]
+        for epoch in report.epochs
+    ]
+    print(format_table(["event at s", "failover gap s", "re-convergence s"], rows))
+    if report.tracking_error is not None:
+        print(f"\nCapacity-tracking error: {report.tracking_error:.4f}")
+    print(f"Retransmissions: {result.stats.retransmissions}, drops: {result.drops}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (also exposed as the ``mptcp-overlap`` console script)."""
     parser = _build_parser()
@@ -229,6 +339,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _command_compare,
         "sweep": _command_sweep,
         "fairness": _command_fairness,
+        "dynamics": _command_dynamics,
     }
     return handlers[args.command](args)
 

@@ -28,6 +28,7 @@ from .coupled import (
 )
 from .options import DsnAllocator, DsnReassembler
 from .path_manager import (
+    FailoverPathManager,
     FullMeshPathManager,
     NdiffportsPathManager,
     PathManager,
@@ -48,6 +49,7 @@ __all__ = [
     "CouplingGroup",
     "DsnAllocator",
     "DsnReassembler",
+    "FailoverPathManager",
     "FullMeshPathManager",
     "LiaCongestionControl",
     "MULTIPATH_ALGORITHMS",

@@ -7,12 +7,22 @@ pre-selected path), couples their congestion controllers through a shared
 :class:`~repro.core.coupled.CouplingGroup`, stripes a bulk byte stream across
 them according to the configured scheduler and reassembles the stream at the
 destination host.
+
+The subflow set is no longer fixed at setup: the connection listens for
+network dynamics events and survives path failures.  When a link on a
+subflow's path goes down, the subflow is marked ``"down"``, its
+unacknowledged DSN ranges are re-injected on the sibling subflows (the MPTCP
+re-injection mechanism) and the path manager may open a replacement subflow
+at runtime (:meth:`add_subflow`); when the path heals, the subflow resumes.
+:meth:`close_subflow` removes a subflow for good, keeping the coupling
+group's membership caches consistent.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ConfigurationError
 from ..model.paths import Path, PathSet
@@ -27,6 +37,15 @@ from .scheduler import MinRttScheduler, RoundRobinScheduler, Scheduler, make_sch
 from .subflow import Subflow
 
 _flow_ids = itertools.count(1000)
+
+
+def _path_uses_link(path: Path, a: str, b: str) -> bool:
+    """True when ``path`` traverses the link between ``a`` and ``b`` (either way)."""
+    nodes = path.nodes
+    for x, y in zip(nodes, nodes[1:]):
+        if (x == a and y == b) or (x == b and y == a):
+            return True
+    return False
 
 
 class MptcpConnection:
@@ -99,11 +118,16 @@ class MptcpConnection:
         self.reassembler = DsnReassembler()
         self.coupling_group = CouplingGroup()
 
-        self.subflows: List[Subflow] = self.path_manager.build_subflows(network, src, dst)
+        self.subflows: List[Subflow] = self.path_manager.initial_subflows(network, src, dst)
         self._senders: Dict[int, Subflow] = {}
         self._build_transport()
         self._start_time: Optional[float] = None
         self._starved_subflows: set[int] = set()
+        self._next_subflow_id = max(sf.subflow_id for sf in self.subflows) + 1
+        #: Unacknowledged DSN ranges rescued from failed/closed subflows,
+        #: handed out ahead of fresh allocations (MPTCP re-injection).
+        self._reinject: Deque[Tuple[int, int]] = deque()
+        network.add_dynamics_listener(self._on_network_event)
         # O(1) dispatch for the dominant configuration: with an unbounded
         # greedy source both stock work-conserving schedulers grant every
         # request straight from the allocator (data is never scarce), so the
@@ -129,40 +153,58 @@ class MptcpConnection:
         return coerced
 
     def _build_transport(self) -> None:
+        for subflow in self.subflows:
+            self._attach_transport(subflow)
+
+    def _attach_transport(self, subflow: Subflow) -> None:
+        """Create and register the sender/receiver/cc triple of one subflow."""
         src_host = self.network.host(self.src)
         dst_host = self.network.host(self.dst)
-        for subflow in self.subflows:
-            cc = make_multipath_congestion_control(
-                self.congestion_control_name, mss=self.mss, group=self.coupling_group
-            )
-            sender = TcpSender(
-                src_host,
-                self.dst,
-                self.flow_id,
-                subflow.subflow_id,
-                cc=cc,
-                data_provider=self,
-                tag=subflow.tag,
-                mss=self.mss,
-            )
-            receiver = TcpReceiver(
-                dst_host,
-                self.src,
-                self.flow_id,
-                subflow.subflow_id,
-                tag=subflow.tag,
-                connection_sink=self,
-            )
-            src_host.register_agent(self.flow_id, subflow.subflow_id, sender)
-            dst_host.register_agent(self.flow_id, subflow.subflow_id, receiver)
-            subflow.sender = sender
-            subflow.receiver = receiver
-            subflow.cc = cc
-            self._senders[subflow.subflow_id] = subflow
+        cc = make_multipath_congestion_control(
+            self.congestion_control_name, mss=self.mss, group=self.coupling_group
+        )
+        sender = TcpSender(
+            src_host,
+            self.dst,
+            self.flow_id,
+            subflow.subflow_id,
+            cc=cc,
+            data_provider=self,
+            tag=subflow.tag,
+            mss=self.mss,
+        )
+        receiver = TcpReceiver(
+            dst_host,
+            self.src,
+            self.flow_id,
+            subflow.subflow_id,
+            tag=subflow.tag,
+            connection_sink=self,
+        )
+        src_host.register_agent(self.flow_id, subflow.subflow_id, sender)
+        dst_host.register_agent(self.flow_id, subflow.subflow_id, receiver)
+        subflow.sender = sender
+        subflow.receiver = receiver
+        subflow.cc = cc
+        self._senders[subflow.subflow_id] = subflow
 
     # ------------------------------------------------------------------ DataProvider protocol
     def request_data(self, sender: TcpSender, max_bytes: int) -> Optional[Tuple[int, int]]:
         """Called by a subflow sender with free window; delegates to the scheduler."""
+        if sender.path_down:
+            # A failed path gets no data: anything granted here (fresh or
+            # re-injected) would be stranded behind the dead link.
+            return None
+        reinject = self._reinject
+        if reinject:
+            # Rescued ranges from a failed/closed subflow go out first, on
+            # whichever sibling asks -- ahead of scheduler policy, exactly
+            # like the Linux re-injection queue.
+            dsn, length = reinject.popleft()
+            if length > max_bytes:
+                reinject.appendleft((dsn + max_bytes, length - max_bytes))
+                return dsn, max_bytes
+            return dsn, length
         if self._fast_allocate:
             # Unconstrained source: the grant is always the full request (the
             # exact outcome MinRtt/RoundRobin produce via the allocator), so
@@ -205,6 +247,127 @@ class MptcpConnection:
         """Receiver-side delivery of a DSN range from one subflow."""
         return self.reassembler.deliver(dsn, length, now)
 
+    # ------------------------------------------------------------------ subflow lifecycle
+    def add_subflow(
+        self,
+        path: Union[Path, Sequence[str]],
+        *,
+        tag: Optional[int] = None,
+        is_default: bool = False,
+        start: bool = True,
+    ) -> Subflow:
+        """Open a new subflow on ``path`` at runtime (MP_JOIN mid-connection).
+
+        Installs the path's tag forwarding state, attaches a fresh
+        sender/receiver/congestion-control triple (registered with the
+        connection's coupling group, whose membership caches invalidate on
+        registration) and, with ``start=True``, begins transmitting on the
+        next event-loop tick.
+        """
+        if not isinstance(path, Path):
+            path = Path(list(path), tag=tag, name=f"Path {self._next_subflow_id + 1}")
+        if tag is None:
+            tag = path.tag if path.tag is not None else self._next_subflow_id + 1
+        self.network.install_path(path.nodes, tag)
+        subflow = Subflow(
+            subflow_id=self._next_subflow_id, path=path, tag=tag, is_default=is_default
+        )
+        self._next_subflow_id += 1
+        self._attach_transport(subflow)
+        self.subflows.append(subflow)
+        if start:
+            sim = self.network.sim
+            subflow.started_at = sim.now
+            sim.schedule(0.0, subflow.sender.start)
+        return subflow
+
+    def close_subflow(self, subflow: Subflow, *, reinject: bool = True) -> None:
+        """Remove ``subflow`` for good (runtime teardown).
+
+        The sender stops transmitting and its retransmission timer is
+        cancelled, both transport agents are unregistered from their hosts,
+        the congestion controller leaves the coupling group (invalidating the
+        per-type membership caches) and -- unless ``reinject=False`` -- the
+        subflow's unacknowledged DSN ranges are re-injected so the sibling
+        subflows deliver them.
+        """
+        if subflow.state == "closed":
+            return
+        sender = subflow.sender
+        if reinject and sender is not None and subflow.state != "down":
+            # A down subflow's ranges were already re-injected when its path
+            # failed (the frozen sender's queue is unchanged since); a second
+            # copy would waste failover-window capacity on duplicates.
+            self._reinject.extend(sender.unacked_ranges())
+        subflow.state = "closed"
+        if sender is not None:
+            sender.close()
+        self.network.host(self.src).unregister_agent(self.flow_id, subflow.subflow_id)
+        self.network.host(self.dst).unregister_agent(self.flow_id, subflow.subflow_id)
+        if subflow.cc is not None:
+            self.coupling_group.unregister(subflow.cc)
+        self._starved_subflows.discard(subflow.subflow_id)
+        if self._reinject:
+            self._kick_active_subflows()
+
+    def _kick_active_subflows(self) -> None:
+        """Give every active, started subflow a chance to transmit soon."""
+        sim = self.network.sim
+        for subflow in self.subflows:
+            if subflow.state == "active" and subflow.sender is not None and subflow.sender.started:
+                sim.schedule(0.0, subflow.sender.resume)
+
+    # ------------------------------------------------------------------ dynamics
+    def _on_network_event(self, kind: str, a: str, b: str) -> None:
+        """Network dynamics listener: track which subflow paths are usable."""
+        if kind == "link_down":
+            for subflow in list(self.subflows):
+                if subflow.state == "active" and _path_uses_link(subflow.path, a, b):
+                    self._handle_path_down(subflow)
+        elif kind == "link_up":
+            network = self.network
+            for subflow in self.subflows:
+                if (
+                    subflow.state == "down"
+                    and _path_uses_link(subflow.path, a, b)
+                    and network.path_is_up(subflow.path.nodes)
+                ):
+                    self._handle_path_up(subflow)
+
+    def _handle_path_down(self, subflow: Subflow) -> None:
+        subflow.state = "down"
+        sender = subflow.sender
+        if sender is not None:
+            sender.path_down = True
+            # MPTCP re-injection: the ranges stranded on the dead path are
+            # re-sent on the siblings so connection-level delivery continues.
+            self._reinject.extend(sender.unacked_ranges())
+        if subflow.cc is not None:
+            # A dead path must not throttle the survivors: its stale
+            # cwnd/RTT would otherwise keep dominating the coupled increase
+            # terms.  Leaving the group invalidates the per-type membership
+            # caches; the controller rejoins when the path heals.
+            self.coupling_group.unregister(subflow.cc)
+        replacement = self.path_manager.on_path_down(self, subflow)
+        if replacement is not None:
+            self.add_subflow(replacement)
+        self._kick_active_subflows()
+
+    def _handle_path_up(self, subflow: Subflow) -> None:
+        subflow.state = "active"
+        sender = subflow.sender
+        if subflow.cc is not None:
+            self.coupling_group.register(subflow.cc)
+        if sender is not None:
+            sender.path_down = False
+            sender.on_path_restored()
+            if sender.started:
+                # A subflow that was idle when its path failed has no ACK
+                # clock and nothing outstanding to retransmit: without an
+                # explicit resume it would stay silent forever.
+                self.network.sim.schedule(0.0, sender.resume)
+        self.path_manager.on_path_up(self, subflow)
+
     # ------------------------------------------------------------------ control
     def start(self, at: float = 0.0) -> None:
         """Schedule the transfer: default subflow at ``at``, others after ``join_delay``."""
@@ -221,6 +384,15 @@ class MptcpConnection:
             sim.schedule_at(start_at, subflow.sender.start)
 
     # ------------------------------------------------------------------ views
+    @property
+    def active_subflows(self) -> List[Subflow]:
+        """The subflows currently able to carry data."""
+        return [sf for sf in self.subflows if sf.state == "active"]
+
+    def subflow_states(self) -> Dict[int, str]:
+        """Lifecycle state per subflow id (``active`` / ``down`` / ``closed``)."""
+        return {sf.subflow_id: sf.state for sf in self.subflows}
+
     @property
     def default_subflow(self) -> Subflow:
         for subflow in self.subflows:

@@ -1,17 +1,30 @@
-"""MPTCP path managers.
+"""MPTCP path managers: the subflow lifecycle of a connection.
 
-The path manager decides how many subflows a connection opens and which path
-each one is pinned to.  The paper modifies the ``ndiffports`` path manager so
-that every subflow's packets carry a distinct tag ("the exact tags and the
-number of subflows is given as an argument for our path-manager module");
-:class:`TagPathManager` reproduces that module.  The stock ``ndiffports``
-(all subflows on the default route) and a full-mesh manager for multi-homed
-hosts are provided for comparison scenarios.
+The path manager decides how many subflows a connection opens, which path
+each one is pinned to, and -- since the network learned to change under a
+running connection (:mod:`repro.netsim.dynamics`) -- how the subflow set
+evolves when paths fail and recover.  The lifecycle is:
+
+* :meth:`PathManager.initial_subflows` produces the subflow descriptors the
+  connection opens before the first packet (the old one-shot
+  ``build_subflows``, kept as an alias);
+* :meth:`PathManager.on_path_down` runs when a link on a subflow's path goes
+  down; returning a :class:`~repro.model.paths.Path` tells the connection to
+  open a replacement subflow on it at runtime (handover);
+* :meth:`PathManager.on_path_up` runs when a failed path heals.
+
+The paper modifies the ``ndiffports`` path manager so that every subflow's
+packets carry a distinct tag ("the exact tags and the number of subflows is
+given as an argument for our path-manager module"); :class:`TagPathManager`
+reproduces that module.  The stock ``ndiffports`` (all subflows on the
+default route), a full-mesh manager for multi-homed hosts and the
+failure-driven :class:`FailoverPathManager` (mobile handover) are provided
+for comparison and dynamics scenarios.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+from abc import ABC
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from ..errors import ConfigurationError
@@ -20,16 +33,47 @@ from .subflow import Subflow
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..netsim.network import Network
+    from .connection import MptcpConnection
 
 
 class PathManager(ABC):
-    """Produces the subflow descriptors (path + tag) for a connection."""
+    """Produces and maintains the subflow descriptors (path + tag) of a connection.
+
+    Subclasses implement :meth:`initial_subflows`; legacy subclasses that
+    only override the old one-shot :meth:`build_subflows` keep working --
+    each method's default delegates to the other, so exactly one must be
+    overridden.
+    """
 
     name = "base"
 
-    @abstractmethod
+    def initial_subflows(self, network: "Network", src: str, dst: str) -> List[Subflow]:
+        """Return the subflows opened at connection setup (no transport yet)."""
+        if type(self).build_subflows is PathManager.build_subflows:
+            raise NotImplementedError(
+                f"{type(self).__name__} must implement initial_subflows()"
+            )
+        return self.build_subflows(network, src, dst)
+
     def build_subflows(self, network: "Network", src: str, dst: str) -> List[Subflow]:
-        """Return the subflows (without transport agents attached yet)."""
+        """Backwards-compatible alias for :meth:`initial_subflows`."""
+        return self.initial_subflows(network, src, dst)
+
+    # ------------------------------------------------------------------ lifecycle
+    def on_path_down(
+        self, connection: "MptcpConnection", subflow: Subflow
+    ) -> Optional[Path]:
+        """React to ``subflow``'s path losing a link.
+
+        Return a :class:`Path` to open a replacement subflow on it, or None
+        to ride out the outage on the surviving subflows.  The connection has
+        already marked the subflow down and re-injected its unacknowledged
+        data before calling this hook.
+        """
+        return None
+
+    def on_path_up(self, connection: "MptcpConnection", subflow: Subflow) -> None:
+        """React to ``subflow``'s path healing (it is active again)."""
 
 
 class TagPathManager(PathManager):
@@ -58,7 +102,7 @@ class TagPathManager(PathManager):
         self.paths = path_list
         self.default_index = default_index
 
-    def build_subflows(self, network: "Network", src: str, dst: str) -> List[Subflow]:
+    def initial_subflows(self, network: "Network", src: str, dst: str) -> List[Subflow]:
         subflows: List[Subflow] = []
         for index, path in enumerate(self.paths):
             if path.src != src or path.dst != dst:
@@ -92,7 +136,7 @@ class NdiffportsPathManager(PathManager):
         self.subflow_count = subflow_count
         self.default_path = default_path
 
-    def build_subflows(self, network: "Network", src: str, dst: str) -> List[Subflow]:
+    def initial_subflows(self, network: "Network", src: str, dst: str) -> List[Subflow]:
         if self.default_path is not None:
             path = self.default_path
         else:
@@ -120,7 +164,7 @@ class FullMeshPathManager(PathManager):
             raise ConfigurationError("need at least one subflow")
         self.max_subflows = max_subflows
 
-    def build_subflows(self, network: "Network", src: str, dst: str) -> List[Subflow]:
+    def initial_subflows(self, network: "Network", src: str, dst: str) -> List[Subflow]:
         node_lists = network.topology.k_shortest_paths(src, dst, self.max_subflows)
         subflows: List[Subflow] = []
         for index, nodes in enumerate(node_lists):
@@ -131,3 +175,47 @@ class FullMeshPathManager(PathManager):
                 Subflow(subflow_id=index, path=path, tag=tag, is_default=(index == 0))
             )
         return subflows
+
+
+class FailoverPathManager(PathManager):
+    """Failure-driven handover: open backup subflows only when paths die.
+
+    Starts on the primary path alone (the first of ``paths``).  Each time an
+    active subflow's path fails, the next unused backup path gets a new
+    subflow opened at runtime -- the mobile-handover lifecycle (e.g. Wi-Fi
+    drops, a cellular subflow joins mid-connection).  Healed paths simply
+    resume; already-opened subflows are never closed by this manager.
+
+    The manager tracks which backups it has handed out, so it is meant to
+    drive a single connection.
+    """
+
+    name = "failover"
+
+    def __init__(self, paths: Sequence[Path] | PathSet) -> None:
+        path_list = list(paths)
+        if not path_list:
+            raise ConfigurationError("FailoverPathManager needs at least one path")
+        self.paths = path_list
+        self._next_backup = 1
+
+    def initial_subflows(self, network: "Network", src: str, dst: str) -> List[Subflow]:
+        primary = self.paths[0]
+        if primary.src != src or primary.dst != dst:
+            raise ConfigurationError(
+                f"path {primary} does not connect {src!r} to {dst!r}"
+            )
+        self._next_backup = 1
+        tag = primary.tag if primary.tag is not None else 1
+        network.install_path(primary.nodes, tag, as_default=True)
+        return [Subflow(subflow_id=0, path=primary, tag=tag, is_default=True)]
+
+    def on_path_down(
+        self, connection: "MptcpConnection", subflow: Subflow
+    ) -> Optional[Path]:
+        while self._next_backup < len(self.paths):
+            backup = self.paths[self._next_backup]
+            self._next_backup += 1
+            if connection.network.path_is_up(backup.nodes):
+                return backup
+        return None

@@ -44,6 +44,8 @@ def _is_unconstrained(allocator) -> bool:
 
 def _subflow_can_send(subflow) -> bool:
     """True when the subflow is established and has window space for a segment."""
+    if subflow.state != "active":
+        return False
     sender = subflow.sender
     return (
         sender is not None
@@ -69,12 +71,14 @@ class MinRttScheduler(Scheduler):
             return allocator.allocate(max_bytes)
         # Data is scarce: give it to the fastest path that has window space.
         # Single pass, no candidate list: ties keep the earliest subflow,
-        # exactly like min() over the filtered list did.
+        # exactly like min() over the filtered list did.  Down/closed
+        # subflows never win the turn (they could not use it, and granting
+        # them would starve the live paths).
         best = None
         best_srtt = 0.0
         for sf in connection.subflows:
             sender = sf.sender
-            if sender is None:
+            if sender is None or sf.state != "active":
                 continue
             cc = sender.cc
             if sender.snd_nxt - sender.snd_una + sender.mss > cc.cwnd * cc.mss:

@@ -37,7 +37,13 @@ class Subflow:
         "cc",
         "started_at",
         "acked_bytes",
+        "state",
     )
+
+    #: Lifecycle states: ``"active"`` (usable), ``"down"`` (its path lost a
+    #: link; the subflow survives and resumes when the path heals) and
+    #: ``"closed"`` (removed at runtime; never comes back).
+    STATES = ("active", "down", "closed")
 
     def __init__(
         self,
@@ -50,6 +56,7 @@ class Subflow:
         cc: "CongestionControl" = None,  # type: ignore[assignment]
         started_at: Optional[float] = None,
         acked_bytes: int = 0,
+        state: str = "active",
     ) -> None:
         self.subflow_id = subflow_id
         self.path = path
@@ -60,6 +67,7 @@ class Subflow:
         self.cc = cc
         self.started_at = started_at
         self.acked_bytes = acked_bytes
+        self.state = state
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -69,6 +77,11 @@ class Subflow:
         )
 
     # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True while the subflow may carry data (not down, not closed)."""
+        return self.state == "active"
+
     @property
     def name(self) -> str:
         return self.path.name or f"subflow-{self.subflow_id}"

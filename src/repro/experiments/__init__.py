@@ -18,8 +18,12 @@ from .multiflow import (
 )
 from .scenarios import (
     COMPETITION_SCENARIOS,
+    DYNAMICS_SCENARIOS,
+    capacity_step_tracking,
     cc_comparison,
     cross_traffic_perturbation,
+    handover_subflow_migration,
+    link_flap_failover,
     mptcp_vs_tcp_shared_bottleneck,
     olia_default_path_sweep,
     queue_size_sweep,
@@ -31,6 +35,7 @@ from .scenarios import (
 
 __all__ = [
     "COMPETITION_SCENARIOS",
+    "DYNAMICS_SCENARIOS",
     "ExperimentConfig",
     "ExperimentResult",
     "FigureData",
@@ -39,12 +44,15 @@ __all__ = [
     "MultiFlowConfig",
     "MultiFlowResult",
     "ascii_chart",
+    "capacity_step_tracking",
     "cc_comparison",
     "cross_traffic_perturbation",
     "fig2a_cubic",
     "fig2b_olia",
     "fig2c_fine",
     "figure_with_algorithm",
+    "handover_subflow_migration",
+    "link_flap_failover",
     "mptcp_vs_tcp_shared_bottleneck",
     "olia_default_path_sweep",
     "paper_experiment",

@@ -15,7 +15,7 @@ from typing import Dict
 
 from ..measure.sampling import TimeSeries
 from ..topologies.paper import PAPER_DEFAULT_PATH_INDEX
-from .harness import ExperimentConfig, ExperimentResult, paper_experiment, run_experiment
+from .harness import ExperimentResult, paper_experiment, run_experiment
 
 
 @dataclass

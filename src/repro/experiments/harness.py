@@ -16,12 +16,15 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.connection import MptcpConnection
+from ..core.path_manager import PathManager
 from ..measure.convergence import ConvergenceReport, analyze_convergence
+from ..measure.dynamics import DynamicsReport, analyze_dynamics
 from ..measure.flowstats import ConnectionStats, connection_stats
 from ..measure.sampling import TimeSeries, per_tag_timeseries, total_timeseries
 from ..model.bottleneck import ConstraintSystem, build_constraints
 from ..model.lp import LpResult, max_total_throughput
 from ..model.paths import PathSet
+from ..netsim.dynamics import DynamicsSpec
 from ..netsim.network import Network
 from ..netsim.topology import Topology
 from ..topologies.paper import PAPER_DEFAULT_PATH_INDEX, paper_scenario
@@ -52,6 +55,14 @@ class ExperimentConfig:
     total_bytes: Optional[int] = None
     warmup: float = 0.0
     paper_variant: str = "as_stated"
+    #: Optional custom subflow lifecycle (e.g. FailoverPathManager for
+    #: handover scenarios); when set, the scenario's paths are still used
+    #: for capture tagging and the LP optimum but the manager decides which
+    #: subflows open, and when.
+    path_manager: Optional[PathManager] = None
+    #: Optional time-varying network events; an empty/None spec costs
+    #: nothing and leaves static runs byte-identical.
+    dynamics: Optional[DynamicsSpec] = None
     extra: dict = field(default_factory=dict)
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
@@ -79,6 +90,9 @@ class ExperimentResult:
     constraint_system: ConstraintSystem
     drops: int
     events_processed: int
+    #: Present when the run's dynamics spec declares measurement epochs
+    #: (scheduled events or explicit ones) or a capacity profile.
+    dynamics: Optional[DynamicsReport] = None
 
     # ------------------------------------------------------------------
     @property
@@ -98,7 +112,7 @@ class ExperimentResult:
         return self.per_path_series[tag]
 
     def summary(self) -> dict:
-        return {
+        summary = {
             "name": self.config.name,
             "congestion_control": self.config.congestion_control,
             "scheduler": self.config.scheduler,
@@ -113,6 +127,9 @@ class ExperimentResult:
             "drops": self.drops,
             "retransmissions": self.stats.retransmissions,
         }
+        if self.dynamics is not None:
+            summary["dynamics"] = self.dynamics.as_dict()
+        return summary
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
@@ -125,9 +142,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         network,
         paths.src,
         paths.dst,
-        paths,
+        None if config.path_manager is not None else paths,
         congestion_control=config.congestion_control,
         scheduler=config.scheduler,
+        path_manager=config.path_manager,
         default_path_index=config.default_path_index,
         mss=config.mss,
         total_bytes=config.total_bytes,
@@ -135,6 +153,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         join_delay=config.join_delay,
     )
     connection.start(at=0.0)
+    if config.dynamics is not None:
+        # Registered after the connection so its dynamics listener sees the
+        # events; an empty spec registers nothing.
+        config.dynamics.apply(network)
     network.run(config.duration)
 
     start = config.warmup
@@ -149,6 +171,12 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     optimum = max_total_throughput(system)
     convergence = analyze_convergence(total, optimum.total)
     stats = connection_stats(connection, config.duration)
+    dynamics_report = None
+    spec = config.dynamics
+    if spec is not None and (spec.measurement_epochs() or spec.capacity_profile):
+        # Epochs or a capacity profile may also describe events driven
+        # outside the Schedule; an entirely empty spec yields no report.
+        dynamics_report = analyze_dynamics(total, spec)
 
     return ExperimentResult(
         config=config,
@@ -160,6 +188,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         constraint_system=system,
         drops=network.total_drops(),
         events_processed=network.sim.events_processed,
+        dynamics=dynamics_report,
     )
 
 

@@ -29,6 +29,7 @@ from ..measure.sampling import TimeSeries, per_tag_timeseries, throughput_timese
 from ..model.bottleneck import build_constraints
 from ..model.lp import max_total_throughput
 from ..model.paths import Path, PathSet
+from ..netsim.dynamics import DynamicsSpec
 from ..netsim.network import Network
 from ..netsim.topology import Topology
 from ..tcp.connection import TcpConnection
@@ -121,6 +122,9 @@ class MultiFlowConfig:
     #: Optional ``(src, dst)`` link whose capacity anchors the fairness
     #: report's utilisation figure (the scenario's shared bottleneck).
     bottleneck_link: Optional[Tuple[str, str]] = None
+    #: Optional time-varying network events applied before the run; an
+    #: empty/None spec costs nothing (static runs stay byte-identical).
+    dynamics: Optional[DynamicsSpec] = None
 
     def with_overrides(self, **kwargs) -> "MultiFlowConfig":
         return replace(self, **kwargs)
@@ -262,6 +266,10 @@ def run_multiflow(config: MultiFlowConfig) -> MultiFlowResult:
         _instantiate_flow(flow, network, base_paths, config)
         built.append(flow)
 
+    if config.dynamics is not None:
+        # After the flows: MPTCP connections register dynamics listeners at
+        # construction and must see the events.  Empty specs register nothing.
+        config.dynamics.apply(network)
     network.run(config.duration)
 
     start, end = config.warmup, config.duration

@@ -19,6 +19,19 @@ congestion control, run through :func:`repro.experiments.multiflow.run_multiflow
   common bottleneck.
 * :func:`cross_traffic_perturbation` -- bursty on-off UDP cross-traffic
   perturbs an MPTCP connection's rate search on a shared bottleneck.
+
+Network-dynamics scenarios (time-varying links and the mid-run subflow
+lifecycle, run through :func:`repro.experiments.harness.run_experiment` with
+a :class:`~repro.netsim.dynamics.DynamicsSpec` attached):
+
+* :func:`link_flap_failover` -- the default (Wi-Fi) path fails mid-run and
+  later recovers; the surviving cellular subflow must carry the connection
+  (failover gap) and the healed path must be re-absorbed (re-convergence).
+* :func:`capacity_step_tracking` -- the shared bottleneck's rate steps down
+  and back up; the coupled controller must track the moving capacity.
+* :func:`handover_subflow_migration` -- the connection starts on Wi-Fi only
+  (:class:`~repro.core.path_manager.FailoverPathManager`); when Wi-Fi dies a
+  cellular subflow is opened *at runtime* and the transfer migrates.
 """
 
 from __future__ import annotations
@@ -26,7 +39,9 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..core.coupled import PAPER_ALGORITHMS
-from ..topologies.generators import shared_bottleneck
+from ..core.path_manager import FailoverPathManager
+from ..netsim.dynamics import DynamicsSpec, LinkDown, LinkRateChange, LinkUp, Schedule
+from ..topologies.generators import shared_bottleneck, wifi_cellular
 from ..topologies.paper import PAPER_DEFAULT_PATH_INDEX, paper_scenario
 from .harness import ExperimentConfig, ExperimentResult, paper_experiment, run_experiment
 from .multiflow import FlowSpec, MultiFlowConfig
@@ -285,4 +300,170 @@ COMPETITION_SCENARIOS: Dict[str, Callable[..., MultiFlowConfig]] = {
     "mptcp_vs_tcp_shared_bottleneck": mptcp_vs_tcp_shared_bottleneck,
     "two_mptcp_competition": two_mptcp_competition,
     "cross_traffic_perturbation": cross_traffic_perturbation,
+}
+
+
+# ------------------------------------------------------------------ dynamics
+def link_flap_failover(
+    *,
+    congestion_control: str = "lia",
+    duration: float = 5.0,
+    sampling_interval: float = 0.1,
+    down_at: Optional[float] = None,
+    up_at: Optional[float] = None,
+    wifi_mbps: float = 50.0,
+    cellular_mbps: float = 20.0,
+) -> ExperimentConfig:
+    """The default (Wi-Fi) path flaps down and back up mid-run.
+
+    A two-subflow MPTCP connection on the Wi-Fi/cellular topology loses its
+    default path's access link at ``down_at`` and gets it back at ``up_at``
+    (defaults: 30% / 60% of the duration).  The failover gap measures how
+    quickly the surviving cellular subflow picks up the re-injected data;
+    the re-convergence time after ``up_at`` measures how quickly the healed
+    path is filled again.
+    """
+    if down_at is None:
+        down_at = 0.3 * duration
+    if up_at is None:
+        up_at = 0.6 * duration
+    if not 0.0 < down_at < up_at < duration:
+        raise ValueError("need 0 < down_at < up_at < duration")
+    topology, paths = wifi_cellular(wifi_mbps, cellular_mbps)
+    schedule = (
+        Schedule()
+        .at(down_at, LinkDown("client", "wifi_ap"))
+        .at(up_at, LinkUp("client", "wifi_ap"))
+    )
+    spec = DynamicsSpec(
+        schedule=schedule,
+        epochs=(down_at, up_at),
+        capacity_profile=(
+            (0.0, wifi_mbps + cellular_mbps),
+            (down_at, cellular_mbps),
+            (up_at, wifi_mbps + cellular_mbps),
+        ),
+        description=(
+            f"Wi-Fi access link down at t={down_at:g}s, up at t={up_at:g}s; "
+            "the cellular subflow carries the connection through the outage"
+        ),
+    )
+    return ExperimentConfig(
+        name=f"link-flap-{congestion_control}",
+        scenario=(topology, paths),
+        congestion_control=congestion_control,
+        duration=duration,
+        sampling_interval=sampling_interval,
+        default_path_index=0,
+        dynamics=spec,
+    )
+
+
+def capacity_step_tracking(
+    *,
+    congestion_control: str = "lia",
+    duration: float = 5.0,
+    sampling_interval: float = 0.1,
+    step_down_at: Optional[float] = None,
+    step_up_at: Optional[float] = None,
+    bottleneck_mbps: float = 50.0,
+    reduced_mbps: float = 20.0,
+    access_mbps: float = 100.0,
+    n_paths: int = 2,
+) -> ExperimentConfig:
+    """The shared bottleneck's capacity steps down, then back up.
+
+    Both subflows cross one bottleneck whose rate drops to ``reduced_mbps``
+    at ``step_down_at`` and recovers at ``step_up_at`` (defaults: 30% / 60%
+    of the duration).  The capacity-tracking error measures how closely the
+    coupled controller follows the moving capacity; the per-epoch
+    re-convergence times measure how fast it settles on each new level.
+    """
+    if step_down_at is None:
+        step_down_at = 0.3 * duration
+    if step_up_at is None:
+        step_up_at = 0.6 * duration
+    if not 0.0 < step_down_at < step_up_at < duration:
+        raise ValueError("need 0 < step_down_at < step_up_at < duration")
+    topology, paths = shared_bottleneck(n_paths, bottleneck_mbps, access_mbps)
+    schedule = (
+        Schedule()
+        .at(step_down_at, LinkRateChange("agg", "core", reduced_mbps))
+        .at(step_up_at, LinkRateChange("agg", "core", bottleneck_mbps))
+    )
+    spec = DynamicsSpec(
+        schedule=schedule,
+        epochs=(step_down_at, step_up_at),
+        capacity_profile=(
+            (0.0, bottleneck_mbps),
+            (step_down_at, reduced_mbps),
+            (step_up_at, bottleneck_mbps),
+        ),
+        description=(
+            f"bottleneck {bottleneck_mbps:g} -> {reduced_mbps:g} Mbps at "
+            f"t={step_down_at:g}s, back at t={step_up_at:g}s"
+        ),
+    )
+    return ExperimentConfig(
+        name=f"capacity-step-{congestion_control}",
+        scenario=(topology, paths),
+        congestion_control=congestion_control,
+        duration=duration,
+        sampling_interval=sampling_interval,
+        default_path_index=0,
+        dynamics=spec,
+    )
+
+
+def handover_subflow_migration(
+    *,
+    congestion_control: str = "lia",
+    duration: float = 5.0,
+    sampling_interval: float = 0.1,
+    handover_at: Optional[float] = None,
+    wifi_mbps: float = 50.0,
+    cellular_mbps: float = 20.0,
+) -> ExperimentConfig:
+    """Mobile handover: Wi-Fi dies, a cellular subflow joins at runtime.
+
+    The connection starts on the Wi-Fi path *alone* (failover path manager).
+    When the Wi-Fi access link goes down at ``handover_at`` (default: 40% of
+    the duration), the manager opens a cellular subflow mid-connection and
+    the transfer migrates -- exercising the runtime add-subflow path and DSN
+    re-injection.
+    """
+    if handover_at is None:
+        handover_at = 0.4 * duration
+    if not 0.0 < handover_at < duration:
+        raise ValueError("need 0 < handover_at < duration")
+    topology, paths = wifi_cellular(wifi_mbps, cellular_mbps)
+    schedule = Schedule().at(handover_at, LinkDown("client", "wifi_ap"))
+    spec = DynamicsSpec(
+        schedule=schedule,
+        epochs=(handover_at,),
+        capacity_profile=(
+            (0.0, wifi_mbps),
+            (handover_at, cellular_mbps),
+        ),
+        description=(
+            f"Wi-Fi-only connection loses its path at t={handover_at:g}s; "
+            "a cellular subflow is opened mid-run and the transfer migrates"
+        ),
+    )
+    return ExperimentConfig(
+        name=f"handover-{congestion_control}",
+        scenario=(topology, paths),
+        congestion_control=congestion_control,
+        duration=duration,
+        sampling_interval=sampling_interval,
+        path_manager=FailoverPathManager(list(paths)),
+        dynamics=spec,
+    )
+
+
+#: Named dynamics scenarios exposed through the CLI (``dynamics`` command).
+DYNAMICS_SCENARIOS: Dict[str, Callable[..., ExperimentConfig]] = {
+    "link_flap_failover": link_flap_failover,
+    "capacity_step_tracking": capacity_step_tracking,
+    "handover_subflow_migration": handover_subflow_migration,
 }

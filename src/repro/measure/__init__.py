@@ -7,6 +7,15 @@ from .convergence import (
     sustained_time_to_fraction,
     time_to_fraction,
 )
+from .dynamics import (
+    DynamicsReport,
+    EpochMetrics,
+    analyze_dynamics,
+    capacity_at,
+    capacity_tracking_error,
+    failover_gap,
+    reconvergence_time,
+)
 from .fairness import (
     FairnessReport,
     analyze_fairness,
@@ -28,16 +37,23 @@ from .sampling import (
 __all__ = [
     "ConnectionStats",
     "ConvergenceReport",
+    "DynamicsReport",
+    "EpochMetrics",
     "FairnessReport",
     "SubflowStats",
     "TimeSeries",
     "analyze_convergence",
+    "analyze_dynamics",
     "analyze_fairness",
     "bottleneck_share",
+    "capacity_at",
+    "capacity_tracking_error",
     "comparison_row",
     "connection_stats",
+    "failover_gap",
     "jains_index",
     "mptcp_vs_tcp_ratio",
+    "reconvergence_time",
     "settle_time",
     "format_comparison",
     "format_table",

@@ -19,7 +19,7 @@ the network at equilibrium, which matches the ordering observed in the paper
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np

@@ -10,9 +10,21 @@ Public surface:
 * queues -- :class:`DropTailQueue`, :class:`REDQueue`
 * routing -- :class:`TagRoutingTable`, :class:`StaticRoutingTable`, :class:`EcmpRoutingTable`
 * :class:`PacketCapture` -- the tshark substitute
+* dynamics -- :class:`Schedule`, :class:`DynamicsSpec` and the timed link
+  events (:class:`LinkRateChange`, :class:`LinkDown`, ...)
 """
 
 from .capture import CaptureRecord, PacketCapture
+from .dynamics import (
+    DynamicsEvent,
+    DynamicsSpec,
+    LinkDelayChange,
+    LinkDown,
+    LinkRateChange,
+    LinkUp,
+    LossBurst,
+    Schedule,
+)
 from .engine import Event, Simulator
 from .link import Link
 from .network import Network
@@ -25,11 +37,18 @@ from .topology import LinkSpec, NodeSpec, Topology
 __all__ = [
     "CaptureRecord",
     "DropTailQueue",
+    "DynamicsEvent",
+    "DynamicsSpec",
     "EcmpRoutingTable",
     "Event",
     "Host",
     "Link",
+    "LinkDelayChange",
+    "LinkDown",
+    "LinkRateChange",
     "LinkSpec",
+    "LinkUp",
+    "LossBurst",
     "Network",
     "Node",
     "NodeSpec",
@@ -39,6 +58,7 @@ __all__ = [
     "REDQueue",
     "Router",
     "RoutingTable",
+    "Schedule",
     "Simulator",
     "StaticRoutingTable",
     "TagRoutingTable",

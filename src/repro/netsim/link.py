@@ -17,10 +17,32 @@ packets are queued does the link keep one extra "serve" event alive, firing
 exactly when the transmitter frees so queue occupancy (and therefore the
 drop behaviour of the discipline) evolves identically to the classic
 two-event serialise-then-propagate chain.
+
+Dynamics: a link is born *static* and stays on the fast path above until the
+first :mod:`repro.netsim.dynamics` event touches it (``set_rate``,
+``set_delay``, ``set_down``/``set_up``, ``start_loss_burst``), which flips it
+into *dynamic mode*:
+
+* delivery becomes deadline-driven: a per-packet deadline deque mirrors
+  ``_in_flight`` so a mid-serve rate change can re-plan the in-service
+  packet (the already-scheduled delivery event defers itself when it fires
+  early, and an extra event is pushed when the new deadline is earlier);
+* the queue-serve chain validates its fire time against ``_serve_at`` so a
+  re-planned transmitter never serves two packets at once, and re-arms
+  itself when a rate reduction pushed ``_busy_until`` past the old fire
+  time;
+* ``send`` consults the ``_impaired`` flag (link down, or an active loss
+  burst) before the normal transmit/enqueue logic.
+
+Static links pay exactly two predictable branches per packet for all of
+this (``_impaired`` in :meth:`send`, ``_dynamic`` in :meth:`_deliver`); the
+event layout, pooling and delivery timing are unchanged until an event
+fires.
 """
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from typing import TYPE_CHECKING, Optional
 
@@ -99,6 +121,14 @@ class Link:
         "_fused_receive",
         "_fused_host",
         "_in_flight",
+        "up",
+        "_impaired",
+        "_dynamic",
+        "_deadlines",
+        "_serve_at",
+        "_loss_rate",
+        "_loss_until",
+        "_loss_rng",
     )
 
     def __init__(
@@ -149,6 +179,16 @@ class Link:
         #: no arguments and pops from the left -- one args-tuple allocation
         #: per packet per hop avoided.
         self._in_flight: deque = deque()
+        #: Dynamics state: inert until the first dynamics event touches this
+        #: link (see the module docstring).
+        self.up = True
+        self._impaired = False
+        self._dynamic = False
+        self._deadlines: deque = deque()  # mirrors _in_flight in dynamic mode
+        self._serve_at = -1.0  # canonical fire time of the live serve event
+        self._loss_rate = 0.0
+        self._loss_until = 0.0
+        self._loss_rng: Optional[random.Random] = None
 
     # ------------------------------------------------------------------
     @property
@@ -159,8 +199,11 @@ class Link:
     def send(self, packet: Packet) -> bool:
         """Offer ``packet`` to the link.
 
-        Returns False if the packet was dropped by the queue discipline.
+        Returns False if the packet was dropped by the queue discipline (or
+        by an outage / loss burst on a dynamic link).
         """
+        if self._impaired and not self._admit_impaired(packet):
+            return False
         sim = self.sim
         now = sim.now
         if now < self._busy_until or self._serving:
@@ -169,6 +212,7 @@ class Link:
                 # First queued packet: arm the serve event for the instant
                 # the transmitter frees (the old end-of-serialisation time).
                 self._serving = True
+                self._serve_at = self._busy_until
                 sim.schedule_fast_at(self._busy_until, self._serve_queue)
             return accepted
         # Idle transmitter: transmit inlined (one call frame per packet per
@@ -182,15 +226,24 @@ class Link:
         stats.packets_sent += 1
         stats.bytes_sent += size
         self._in_flight.append(packet)
+        deliver_at = tx_end + self.delay
+        if self._dynamic:
+            # FIFO guarantee: a delay reduction must not let this packet
+            # overtake one already on the wire, so the deadline is clamped to
+            # be non-decreasing (the link never reorders).
+            deadlines = self._deadlines
+            if deadlines and deliver_at < deadlines[-1]:
+                deliver_at = deadlines[-1]
+            deadlines.append(deliver_at)
         pool = sim._pool
         if pool:
             entry = pool.pop()
-            entry[0] = tx_end + self.delay
+            entry[0] = deliver_at
             entry[1] = sim._seq
             entry[2] = self._deliver
             entry[3] = ()
         else:
-            entry = [tx_end + self.delay, sim._seq, self._deliver, ()]
+            entry = [deliver_at, sim._seq, self._deliver, ()]
         _link_heappush(sim._heap, entry)
         sim._seq += 1
         return True
@@ -205,12 +258,24 @@ class Link:
         fire time is >= now by construction (tx > 0, delay >= 0), so the
         engine's past-time guard is redundant.
         """
+        sim = self.sim
+        if self._dynamic:
+            # A dynamics event may have orphaned this serve event (rate
+            # re-plan, LinkDown): only the event armed for ``_serve_at`` is
+            # live.  A rate reduction can also push the transmitter-free
+            # time past this event's fire time; re-arm at the new time.
+            now = sim.now
+            if now != self._serve_at:
+                return
+            if now < self._busy_until:
+                self._serve_at = self._busy_until
+                sim.schedule_fast_at(self._busy_until, self._serve_queue)
+                return
         queue = self.queue
         packet = queue.dequeue()
         if packet is None:  # pragma: no cover - defensive; queue drained elsewhere
             self._serving = False
             return
-        sim = self.sim
         size = packet.size
         tx_time = size * 8.0 / self.rate_bps
         tx_end = sim.now + tx_time
@@ -220,15 +285,22 @@ class Link:
         stats.packets_sent += 1
         stats.bytes_sent += size
         self._in_flight.append(packet)
+        deliver_at = tx_end + self.delay
+        if self._dynamic:
+            # Same non-decreasing deadline clamp as in send().
+            deadlines = self._deadlines
+            if deadlines and deliver_at < deadlines[-1]:
+                deliver_at = deadlines[-1]
+            deadlines.append(deliver_at)
         pool = sim._pool
         if pool:
             entry = pool.pop()
-            entry[0] = tx_end + self.delay
+            entry[0] = deliver_at
             entry[1] = sim._seq
             entry[2] = self._deliver
             entry[3] = ()
         else:
-            entry = [tx_end + self.delay, sim._seq, self._deliver, ()]
+            entry = [deliver_at, sim._seq, self._deliver, ()]
         _link_heappush(sim._heap, entry)
         sim._seq += 1
         # Friend access to the queue's backing deque (is_empty property
@@ -236,6 +308,7 @@ class Link:
         if not queue._queue:
             self._serving = False
         else:
+            self._serve_at = tx_end
             if pool:
                 entry = pool.pop()
                 entry[0] = tx_end
@@ -248,6 +321,21 @@ class Link:
             sim._seq += 1
 
     def _deliver(self) -> None:
+        if self._dynamic:
+            # Deadline-driven delivery: a mid-serve rate change moves the
+            # in-service packet's deadline, so the pre-scheduled event can
+            # fire early (defer to the true deadline) or an extra event may
+            # exist (swallowed when nothing is in flight, or bounced until
+            # the head packet is actually due -- a packet is never delivered
+            # before its deadline, and never reordered).
+            in_flight = self._in_flight
+            if not in_flight:
+                return
+            deadline = self._deadlines[0]
+            if self.sim.now < deadline:
+                self.sim.schedule_fast_at(deadline, self._deliver)
+                return
+            self._deadlines.popleft()
         packet = self._in_flight.popleft()
         packet.hops += 1
         if self._fused_receive:
@@ -294,11 +382,164 @@ class Link:
             return
         self._dst_receive(packet, self)
 
+    # ------------------------------------------------------------------ dynamics
+    def _go_dynamic(self) -> None:
+        """Flip the link into dynamic mode (first dynamics event only).
+
+        Back-fills the deadline deque for packets already in flight: their
+        delivery events are exact, so intermediate packets get an always-due
+        deadline of 0.0; the newest packet records its true deadline
+        (``busy_until + delay`` -- it is the one that set ``busy_until``) so
+        a subsequent rate change can re-plan it and later transmissions can
+        clamp against it.
+        """
+        if self._dynamic:
+            return
+        self._dynamic = True
+        deadlines = self._deadlines
+        deadlines.clear()
+        count = len(self._in_flight)
+        for _ in range(count):
+            deadlines.append(0.0)
+        if count:
+            deadlines[-1] = self._busy_until + self.delay
+
+    def _admit_impaired(self, packet: Packet) -> bool:
+        """Down-link / loss-burst admission; True lets ``packet`` proceed.
+
+        Dropped packets are counted in ``stats.packets_dropped`` and -- like
+        queue drops -- are *not* recycled into the packet pool: the link
+        never owns a packet it refused, so the free-list invariants of the
+        transport layer are untouched.
+        """
+        if not self.up:
+            self.stats.packets_dropped += 1
+            return False
+        if self.sim.now < self._loss_until:
+            if self._loss_rng.random() < self._loss_rate:
+                self.stats.packets_dropped += 1
+                return False
+            return True
+        # Loss burst expired: clear the impairment lazily (no timer event).
+        self._impaired = False
+        self._loss_rate = 0.0
+        return True
+
+    def set_rate(self, rate_bps: float) -> None:
+        """Change the transmission rate, re-planning the in-service packet.
+
+        The remaining bits of the packet currently serialising finish at the
+        new rate; queued packets serialise entirely at the new rate.  Fully
+        serialised (propagating) packets are unaffected.
+        """
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        self._go_dynamic()
+        old_rate = self.rate_bps
+        if rate_bps == old_rate:
+            return
+        sim = self.sim
+        now = sim.now
+        busy_until = self._busy_until
+        if now < busy_until:
+            # Mid-serve: re-plan the in-service packet's end of serialisation
+            # (and therefore its delivery deadline, preserving its own delay).
+            new_end = now + (busy_until - now) * old_rate / rate_bps
+            self._busy_until = new_end
+            # busy_time was charged for the whole packet at the old rate;
+            # correct it by the change in the remaining serialisation time
+            # so utilization stays truthful across rate changes.
+            self.stats.busy_time += new_end - busy_until
+            deadlines = self._deadlines
+            if deadlines:
+                old_deadline = deadlines[-1]
+                new_deadline = old_deadline + (new_end - busy_until)
+                if len(deadlines) > 1 and new_deadline < deadlines[-2]:
+                    new_deadline = deadlines[-2]  # FIFO: never overtake
+                deadlines[-1] = new_deadline
+                if new_deadline < old_deadline:
+                    # The pre-scheduled event would deliver too late; push an
+                    # earlier one (the stale event is swallowed by _deliver).
+                    sim.schedule_fast_at(new_deadline, self._deliver)
+            if self._serving:
+                # Re-arm the queue-serve chain at the new free time; the old
+                # serve event dies on the _serve_at check.
+                self._serve_at = new_end
+                sim.schedule_fast_at(new_end, self._serve_queue)
+        self.rate_bps = float(rate_bps)
+
+    def set_delay(self, delay: float) -> None:
+        """Change the propagation delay for subsequently transmitted packets."""
+        if delay < 0:
+            raise ValueError("link delay cannot be negative")
+        self._go_dynamic()
+        self.delay = float(delay)
+
+    def set_down(self, *, flush: str = "drop") -> None:
+        """Fail the link: offered packets drop until :meth:`set_up`.
+
+        ``flush="drop"`` discards the queued packets (counted in
+        ``stats.packets_dropped``); ``flush="park"`` keeps them queued for
+        delivery after the link comes back.  Packets already serialised onto
+        the wire are delivered either way.
+        """
+        if flush not in ("drop", "park"):
+            raise ValueError(f"unknown flush mode {flush!r}; use 'drop' or 'park'")
+        self._go_dynamic()
+        if not self.up:
+            return
+        self.up = False
+        self._impaired = True
+        self._serving = False
+        self._serve_at = -1.0  # orphan any pending serve event
+        if flush == "drop":
+            queue = self.queue
+            stats = self.stats
+            packet = queue.dequeue()
+            while packet is not None:
+                stats.packets_dropped += 1
+                packet = queue.dequeue()
+
+    def set_up(self) -> None:
+        """Restore a failed link; parked packets resume transmission."""
+        self._go_dynamic()
+        if self.up:
+            return
+        self.up = True
+        now = self.sim.now
+        self._impaired = now < self._loss_until
+        if self.queue._queue and not self._serving:
+            # Parked packets: resume serving once the transmitter frees (it
+            # may still be finishing the packet committed before the cut).
+            serve_at = self._busy_until if self._busy_until > now else now
+            self._serving = True
+            self._serve_at = serve_at
+            self.sim.schedule_fast_at(serve_at, self._serve_queue)
+
+    def start_loss_burst(self, duration: float, loss_rate: float = 1.0, *, seed: int = 0) -> None:
+        """Drop offered packets with ``loss_rate`` for ``duration`` seconds.
+
+        Deterministic: each burst reseeds the per-link RNG from ``seed``, so
+        a burst's drop pattern depends only on its own seed -- identical
+        schedules reproduce identical patterns, and distinct seeds give
+        independent realizations regardless of burst order.
+        """
+        if duration < 0:
+            raise ValueError("loss burst duration cannot be negative")
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError("loss rate must be within [0, 1]")
+        self._go_dynamic()
+        self._loss_rate = float(loss_rate)
+        self._loss_until = self.sim.now + duration
+        self._loss_rng = random.Random(seed)
+        if self.up:
+            self._impaired = True
+
     # ------------------------------------------------------------------
     @property
     def drops(self) -> int:
-        """Packets dropped at this link's queue."""
-        return self.queue.stats.dropped
+        """Packets dropped at this link (queue discipline + outage drops)."""
+        return self.queue.stats.dropped + self.stats.packets_dropped
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Link({self.name}, {self.rate_bps / 1e6:.1f} Mbps, {self.delay * 1e3:.2f} ms)"

@@ -8,7 +8,7 @@ and runs the simulation for a given duration.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import TopologyError
 from ..units import mbps
@@ -19,6 +19,14 @@ from .node import Host, Node, Router
 from .queues import make_queue
 from .routing import RoutingTable, StaticRoutingTable, TagRoutingTable
 from .topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .dynamics import Schedule
+
+#: Signature of a dynamics listener: ``(kind, src, dst)`` where ``kind`` is
+#: ``"link_down"`` / ``"link_up"`` / ``"link_rate"`` / ``"link_delay"`` /
+#: ``"loss_burst"`` and ``(src, dst)`` the link named by the event.
+DynamicsListener = Callable[[str, str, str], None]
 
 
 class Network:
@@ -52,6 +60,7 @@ class Network:
         self.nodes: Dict[str, Node] = {}
         self.links: Dict[Tuple[str, str], Link] = {}
         self._captures: Dict[Tuple[str, Optional[int]], PacketCapture] = {}
+        self._dynamics_listeners: List[DynamicsListener] = []
         self._build()
 
     # ------------------------------------------------------------------ build
@@ -142,6 +151,97 @@ class Network:
         except KeyError:
             raise TopologyError(f"no capture attached at {host_name!r}") from None
 
+    # ------------------------------------------------------------------ dynamics
+    def add_dynamics_listener(self, listener: DynamicsListener) -> None:
+        """Register a callback invoked after every dynamics event is applied.
+
+        The protocol layers (e.g. :class:`~repro.core.connection.MptcpConnection`)
+        use this to react to path failures and recoveries -- the simulated
+        equivalent of a netlink link-state notification.
+        """
+        self._dynamics_listeners.append(listener)
+
+    def _notify_dynamics(self, kind: str, a: str, b: str) -> None:
+        for listener in self._dynamics_listeners:
+            listener(kind, a, b)
+
+    def _directed_links(self, a: str, b: str, bidirectional: bool) -> List[Link]:
+        links = [self.link(a, b)]
+        if bidirectional:
+            reverse = self.links.get((b, a))
+            if reverse is not None:
+                links.append(reverse)
+        return links
+
+    def set_link_rate(
+        self, a: str, b: str, rate_mbps: float, *, bidirectional: bool = False
+    ) -> None:
+        """Change the rate of link ``a -> b`` (and ``b -> a`` if bidirectional)."""
+        for link in self._directed_links(a, b, bidirectional):
+            link.set_rate(mbps(rate_mbps))
+        self._notify_dynamics("link_rate", a, b)
+
+    def set_link_delay(
+        self, a: str, b: str, delay: float, *, bidirectional: bool = False
+    ) -> None:
+        """Change the propagation delay of link ``a -> b``."""
+        for link in self._directed_links(a, b, bidirectional):
+            link.set_delay(delay)
+        self._notify_dynamics("link_delay", a, b)
+
+    def set_link_down(
+        self, a: str, b: str, *, bidirectional: bool = True, flush: str = "drop"
+    ) -> None:
+        """Fail the link between ``a`` and ``b`` (both directions by default)."""
+        for link in self._directed_links(a, b, bidirectional):
+            link.set_down(flush=flush)
+        self._notify_dynamics("link_down", a, b)
+
+    def set_link_up(self, a: str, b: str, *, bidirectional: bool = True) -> None:
+        """Restore the link between ``a`` and ``b``."""
+        for link in self._directed_links(a, b, bidirectional):
+            link.set_up()
+        self._notify_dynamics("link_up", a, b)
+
+    def start_loss_burst(
+        self,
+        a: str,
+        b: str,
+        duration: float,
+        loss_rate: float = 1.0,
+        *,
+        seed: int = 0,
+        bidirectional: bool = False,
+    ) -> None:
+        """Begin a transient loss episode on link ``a -> b``."""
+        for link in self._directed_links(a, b, bidirectional):
+            link.start_loss_burst(duration, loss_rate, seed=seed)
+        self._notify_dynamics("loss_burst", a, b)
+
+    def path_is_up(self, nodes: Sequence[str]) -> bool:
+        """True when every link along ``nodes`` is up, in *both* directions.
+
+        The reverse direction carries the path's acknowledgements, so a
+        half-restored link (forward up, reverse down) must still count as a
+        failed path -- otherwise traffic would be committed to a path that
+        can never ACK.
+        """
+        for a, b in zip(nodes, nodes[1:]):
+            link = self.links.get((a, b))
+            if link is None or not link.up:
+                return False
+            reverse = self.links.get((b, a))
+            if reverse is not None and not reverse.up:
+                return False
+        return True
+
+    def apply_schedule(self, schedule: "Schedule") -> None:
+        """Register a dynamics :class:`~repro.netsim.dynamics.Schedule`.
+
+        No-op for an empty schedule -- static scenarios pay nothing.
+        """
+        schedule.apply(self)
+
     # ------------------------------------------------------------------ run
     def run(self, duration: float) -> float:
         """Run the simulation for ``duration`` seconds (from the current time)."""
@@ -149,8 +249,18 @@ class Network:
 
     # ------------------------------------------------------------------ stats
     def link_utilization(self, a: str, b: str, duration: float) -> float:
-        """Utilisation of the directed link ``a -> b`` over ``duration`` seconds."""
+        """Utilisation of the directed link ``a -> b`` over ``duration`` seconds.
+
+        Static links derive busy time from bytes and the (constant) rate;
+        a link whose rate changed mid-run uses the accumulated per-packet
+        busy time instead (bytes over the *current* rate would misprice
+        everything transmitted at earlier rates).
+        """
         link = self.link(a, b)
+        if link._dynamic:
+            if duration <= 0:
+                return 0.0
+            return min(1.0, link.stats.busy_time / duration)
         return link.stats.utilization(link.rate_bps, duration)
 
     def total_drops(self) -> int:

@@ -7,8 +7,6 @@ factory used by both layers.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from ...errors import ConfigurationError
 from .base import CongestionControl, INITIAL_CWND_SEGMENTS, MIN_CWND_SEGMENTS
 from .cubic import CubicCongestionControl

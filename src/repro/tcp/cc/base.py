@@ -14,8 +14,6 @@ decrease (:meth:`_loss_decrease`).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
-
 from ...units import DEFAULT_MSS
 
 #: Initial congestion window in segments (RFC 6928's IW10).

@@ -169,6 +169,8 @@ class TcpSender:
         "_rto_fire_at",
         "_rto_backoff",
         "_started",
+        "closed",
+        "path_down",
     )
 
     def __init__(
@@ -223,11 +225,16 @@ class TcpSender:
         self._rto_fire_at = 0.0
         self._rto_backoff = 1.0
         self._started = False
+        self.closed = False
+        #: Set by the MPTCP connection while this subflow's path is failed;
+        #: the data provider refuses grants so no fresh (or re-injected)
+        #: ranges are stranded on a dead path.
+        self.path_down = False
 
     # ------------------------------------------------------------------ API
     def start(self) -> None:
         """Begin transmitting (register first sends on the event loop)."""
-        if self._started:
+        if self._started or self.closed:
             return
         self._started = True
         self._try_send()
@@ -239,13 +246,51 @@ class TcpSender:
         frees up; without it an idle subflow (no outstanding data, so no ACKs
         will arrive) would never ask for data again.
         """
-        if self._started:
+        if self._started and not self.closed:
             self._try_send()
+
+    def close(self) -> None:
+        """Stop this sender for good (runtime subflow teardown).
+
+        Cancels the retransmission timer and refuses all further
+        transmissions; outstanding data is the connection's responsibility
+        (see ``MptcpConnection.close_subflow``, which re-injects it).
+        """
+        self.closed = True
+        self.path_down = True
+        self._cancel_rto()
+
+    def unacked_ranges(self) -> list:
+        """The ``(dsn, length)`` ranges sent but not cumulatively acknowledged.
+
+        SACKed segments are *included*: their payload sits in the peer
+        receiver's subflow-level reorder buffer and reaches the connection
+        only if this subflow's cumulative progress resumes -- which never
+        happens once the subflow is closed.  The MPTCP connection re-injects
+        these ranges on sibling subflows when this subflow's path fails or
+        the subflow is closed; duplicate deliveries are deduplicated by the
+        connection-level reassembler.
+        """
+        return [(info.dsn, info.length) for info in self._seg_queue]
+
+    def on_path_restored(self) -> None:
+        """The path healed: reset the timeout backoff and retransmit promptly.
+
+        During an outage the RTO backs off exponentially (up to 64x), so a
+        recovered path could otherwise idle for many seconds before the next
+        retransmission probe discovers it is usable again.
+        """
+        if not self._started or self.closed:
+            return
+        self._rto_backoff = 1.0
+        if self.snd_nxt > self.snd_una:
+            self._cancel_rto()
+            self._rto_event = self.sim.schedule(0.0, self._on_rto)
 
     @property
     def started(self) -> bool:
         """True once :meth:`start` has run (the subflow is established)."""
-        return self._started
+        return self._started and not self.closed
 
     @property
     def flight_size(self) -> int:
@@ -591,7 +636,16 @@ class TcpSender:
 
     def _on_rto(self) -> None:
         self._rto_event = None
-        if self.flight_size == 0:
+        if self.flight_size == 0 or self.closed:
+            return
+        if self.path_down:
+            # The connection knows this path is failed: retransmitting into
+            # the dead link is pointless and every timeout reaction would
+            # collapse ssthresh further (crippling the recovery once the
+            # path heals).  Freeze the window state and keep a backed-off
+            # timer running as a liveness probe.
+            self._rto_backoff = min(self._rto_backoff * 2.0, 64.0)
+            self._arm_rto(restart=True)
             return
         now = self.sim.now
         self.stats.timeouts += 1

@@ -11,7 +11,7 @@ prints -- from the receiver-side capture.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import Optional, Union
 
 from ..core.connection import MptcpConnection
 from ..measure.sampling import TimeSeries, throughput_timeseries

@@ -28,6 +28,7 @@ from repro.experiments.scenarios import (
     mptcp_vs_tcp_shared_bottleneck,
     two_mptcp_competition,
 )
+from repro.netsim.dynamics import DynamicsSpec
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_pipeline.json"
 
@@ -113,6 +114,18 @@ def compute_golden() -> Dict[str, dict]:
                 duration=MULTI_FLOW_DURATION,
                 sampling_interval=SAMPLING_INTERVAL,
             )
+        ),
+        # The dynamics machinery merged but *inactive*: an attached empty
+        # Schedule must leave every static scenario byte-identical (the
+        # values below equal "single/cubic" / "multi/two_mptcp_competition"
+        # exactly, which tests/test_dynamics.py also asserts directly).
+        "single/cubic-empty-dynamics": single_flow_case(
+            "cubic", dynamics=DynamicsSpec()
+        ),
+        "multi/two_mptcp_empty_dynamics": multi_flow_case(
+            two_mptcp_competition(
+                duration=MULTI_FLOW_DURATION, sampling_interval=SAMPLING_INTERVAL
+            ).with_overrides(dynamics=DynamicsSpec())
         ),
     }
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.connection import MptcpConnection
-from repro.core.coupled import CouplingGroup
 from repro.errors import ConfigurationError
 from repro.netsim.network import Network
 from repro.topologies.paper import paper_scenario

@@ -1,6 +1,5 @@
 """DSN allocation and connection-level reassembly."""
 
-import pytest
 
 from repro.core.options import DsnAllocator, DsnReassembler
 

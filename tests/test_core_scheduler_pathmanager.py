@@ -17,7 +17,7 @@ from repro.core.scheduler import (
 from repro.errors import ConfigurationError
 from repro.model.paths import Path
 from repro.netsim.network import Network
-from repro.topologies.paper import paper_paths, paper_scenario
+from repro.topologies.paper import paper_paths
 
 from .conftest import make_two_path_scenario
 

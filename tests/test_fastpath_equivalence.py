@@ -550,6 +550,7 @@ class TestSchedulerFastDispatch:
         class StubSubflow:
             def __init__(self, srtt):
                 self.sender = StubSender(srtt)
+                self.state = "active"
 
         class StubAllocator:
             send_buffer_bytes = 1

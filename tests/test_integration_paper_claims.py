@@ -10,8 +10,6 @@ import pytest
 
 from repro.core.connection import MptcpConnection
 from repro.experiments.harness import paper_experiment, run_experiment
-from repro.model.bottleneck import build_constraints
-from repro.model.lp import max_total_throughput
 from repro.netsim.network import Network
 from repro.topologies.generators import shared_bottleneck, wifi_cellular
 from repro.topologies.paper import PAPER_OPTIMAL_TOTAL

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.netsim.engine import Simulator
 
 
 class TestScheduling:

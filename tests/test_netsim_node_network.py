@@ -5,8 +5,6 @@ import pytest
 from repro.errors import RoutingError, TopologyError
 from repro.netsim.network import Network
 from repro.netsim.packet import Packet
-from repro.netsim.routing import TagRoutingTable
-from repro.netsim.topology import Topology
 
 from .conftest import make_chain_topology
 

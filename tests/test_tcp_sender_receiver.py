@@ -10,10 +10,6 @@ import pytest
 
 from repro.netsim.network import Network
 from repro.tcp.connection import BulkDataAdapter, TcpConnection
-from repro.tcp.receiver import TcpReceiver
-from repro.tcp.sender import TcpSender
-from repro.tcp.cc import make_congestion_control
-from repro.units import DEFAULT_MSS
 
 from .conftest import make_chain_topology
 
