@@ -1,0 +1,45 @@
+"""Campaign throughput: grid points per second through the sharded runner.
+
+The campaign subsystem's cost per point is one short simulation plus the
+model-validation post-processing and a JSONL store append; this workload
+runs a small single-connection grid into a throwaway store and reports the
+points-per-second figure recorded as ``campaign_points_per_sec`` in the
+shared bench registry (``bench_perf_baseline.BENCH_REGISTRY``), so
+``check_regression.py`` guards it alongside the engine and pipeline rates.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro.experiments.campaign import CampaignSpec, run_campaign
+
+#: Small but representative grid: two controllers x two rate scales on the
+#: paper topology, fresh store every round so nothing resumes.
+_BENCH_SPEC = CampaignSpec(
+    name="bench",
+    kind="single",
+    scenarios=("paper",),
+    congestion_controls=("cubic", "lia"),
+    rate_scales=(0.5, 1.0),
+    duration=0.4,
+)
+
+
+def campaign_points_second() -> int:
+    """Run the bench grid serially into a temp store; returns points executed."""
+    with tempfile.TemporaryDirectory() as tmp:
+        result = run_campaign(
+            _BENCH_SPEC,
+            os.path.join(tmp, "store.jsonl"),
+            chunk_size=4,
+            max_workers=1,
+        )
+    assert result.executed == len(result.points)
+    return result.executed
+
+
+def test_campaign_points_benchmark():
+    """Pytest entry: one timed round must complete every grid point."""
+    assert campaign_points_second() == 4

@@ -16,6 +16,7 @@ import platform
 import sys
 import time
 
+from bench_campaign import campaign_points_second
 from bench_netsim_engine import (
     dynamics_link_flap_second,
     multiflow_fairness_second,
@@ -34,6 +35,7 @@ BENCH_REGISTRY = {
     "tcp_pipeline_events_per_sec": (single_tcp_second, 3),
     "multiflow_fairness_events_per_sec": (multiflow_fairness_second, 3),
     "dynamics_link_flap_events_per_sec": (dynamics_link_flap_second, 3),
+    "campaign_points_per_sec": (campaign_points_second, 3),
 }
 
 
@@ -70,3 +72,4 @@ def test_write_perf_baseline():
     assert timings["tcp_pipeline_events_per_sec"] > 30_000
     assert timings["multiflow_fairness_events_per_sec"] > 20_000
     assert timings["dynamics_link_flap_events_per_sec"] > 20_000
+    assert timings["campaign_points_per_sec"] > 0.2

@@ -13,6 +13,12 @@ Sub-commands:
 * ``dynamics`` -- run a named network-dynamics scenario (link flap, capacity
                   step, handover) and report failover gap, re-convergence
                   time and capacity-tracking error.
+* ``campaign`` -- run a named parameter-sweep grid with model-vs-simulation
+                  validation, resuming completed points from a JSONL store.
+
+All ``--json`` output is NaN-safe: non-finite metrics are emitted as
+``null`` and serialisation runs with ``allow_nan=False`` so a regression
+fails loudly instead of printing invalid JSON.
 """
 
 from __future__ import annotations
@@ -24,7 +30,8 @@ from typing import List, Optional
 
 from . import __version__
 from .core.coupled import MULTIPATH_ALGORITHMS, PAPER_ALGORITHMS
-from .experiments.ascii_plot import plot_figure
+from .experiments.ascii_plot import ascii_chart, plot_figure
+from .experiments.campaign import CAMPAIGN_GRIDS, run_campaign
 from .experiments.figures import fig2a_cubic, fig2b_olia, fig2c_fine, figure_with_algorithm
 from .experiments.harness import run_experiment
 from .experiments.multiflow import run_multiflow
@@ -35,12 +42,23 @@ from .experiments.scenarios import (
     olia_default_path_sweep,
     summarize_results,
 )
-from .measure.report import format_table
+from .measure.report import format_table, sanitize_metrics
+from .measure.sampling import TimeSeries
 from .model.bottleneck import build_constraints
 from .model.greedy import greedy_fill
 from .model.lp import max_total_throughput, proportional_fair_rates
 from .model.maxmin import max_min_fair_rates
 from .topologies.paper import PAPER_DEFAULT_PATH_INDEX, paper_scenario
+
+
+def _dumps(payload: object) -> str:
+    """NaN-safe JSON for every machine-readable output of the CLI.
+
+    Non-finite floats become ``null`` first; ``allow_nan=False`` then
+    guarantees that any non-finite value slipping past the sanitiser raises
+    instead of emitting a bare ``NaN`` token (invalid JSON).
+    """
+    return json.dumps(sanitize_metrics(payload), indent=2, allow_nan=False)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -115,6 +133,36 @@ def _build_parser() -> argparse.ArgumentParser:
     dynamics.add_argument("--duration", type=float, default=5.0)
     dynamics.add_argument("--no-plot", action="store_true", help="skip the terminal plot")
     dynamics.add_argument("--json", action="store_true")
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run a sharded, resumable parameter-sweep grid with model validation",
+    )
+    campaign.add_argument(
+        "scenario",
+        nargs="?",
+        metavar="grid",
+        help=f"one of: {', '.join(sorted(CAMPAIGN_GRIDS))}",
+    )
+    campaign.add_argument(
+        "--list", action="store_true", help="list the available campaign grids and exit"
+    )
+    campaign.add_argument(
+        "--store",
+        default=None,
+        help="JSONL result store path (default: campaign_<grid>.jsonl)",
+    )
+    campaign.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="skip points already completed in the store (default: on)",
+    )
+    campaign.add_argument("--duration", type=float, default=None, help="per-point duration")
+    campaign.add_argument("--chunk-size", type=int, default=4)
+    campaign.add_argument("--max-workers", type=int, default=None)
+    campaign.add_argument("--no-plot", action="store_true", help="skip the error plot")
+    campaign.add_argument("--json", action="store_true")
     return parser
 
 
@@ -158,15 +206,14 @@ def _command_lp(args: argparse.Namespace) -> int:
 
     if args.json:
         print(
-            json.dumps(
+            _dumps(
                 {
                     "constraints": [str(c) for c in system.constraints],
                     "optimum": optimum.as_dict(),
                     "greedy_from_default": {"rates": greedy.rates, "total": greedy.total},
                     "max_min": {"rates": maxmin.rates, "total": maxmin.total},
                     "proportional_fair": fair.as_dict(),
-                },
-                indent=2,
+                }
             )
         )
         return 0
@@ -195,7 +242,7 @@ def _command_figure(args: argparse.Namespace) -> int:
         data = figure_with_algorithm(args.cc, duration=args.duration, variant=args.variant)
     print(plot_figure(data.per_path_series, data.total_series, title=data.description))
     print()
-    print(json.dumps(data.summary(), indent=2))
+    print(_dumps(data.summary()))
     return 0
 
 
@@ -203,7 +250,7 @@ def _command_compare(args: argparse.Namespace) -> int:
     results = cc_comparison(args.algorithms, duration=args.duration)
     summaries = summarize_results(results)
     if args.json:
-        print(json.dumps(summaries, indent=2))
+        print(_dumps(summaries))
         return 0
     rows = [
         [
@@ -229,7 +276,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     results = olia_default_path_sweep(duration=args.duration, algorithm=args.cc)
     summaries = summarize_results(results)
     if args.json:
-        print(json.dumps(summaries, indent=2))
+        print(_dumps(summaries))
         return 0
     rows = [
         [
@@ -258,7 +305,7 @@ def _command_fairness(args: argparse.Namespace) -> int:
     result = run_multiflow(builder(**kwargs))
 
     if args.json:
-        print(json.dumps(result.summary(), indent=2))
+        print(_dumps(result.summary()))
         return 0
 
     fairness = result.fairness
@@ -299,7 +346,7 @@ def _command_dynamics(args: argparse.Namespace) -> int:
     report = result.dynamics
 
     if args.json:
-        print(json.dumps(result.summary(), indent=2))
+        print(_dumps(result.summary()))
         return 0
 
     spec = config.dynamics
@@ -329,6 +376,116 @@ def _command_dynamics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_campaign(args: argparse.Namespace) -> int:
+    grid = _resolve_scenario(args, CAMPAIGN_GRIDS, "campaign")
+    if grid is None:
+        return args.exit_code
+    kwargs = {} if args.duration is None else {"duration": args.duration}
+    spec = CAMPAIGN_GRIDS[grid](**kwargs)
+    store_path = args.store or f"campaign_{grid}.jsonl"
+
+    def progress(done: int, total: int) -> None:
+        if total:
+            print(f"campaign {grid}: {done}/{total} pending points", file=sys.stderr)
+
+    result = run_campaign(
+        spec,
+        store_path,
+        chunk_size=args.chunk_size,
+        max_workers=args.max_workers,
+        resume=args.resume,
+        progress=progress,
+    )
+    report = result.validation_report()
+    # Partially failed grids must be visible to automation: error points are
+    # reported (and retried on the next invocation) but the exit is non-zero.
+    exit_code = 1 if result.error_records else 0
+
+    if args.json:
+        print(
+            _dumps(
+                {
+                    "campaign": result.summary(),
+                    "points": result.records,
+                }
+            )
+        )
+        return exit_code
+
+    print(
+        f"campaign {grid}: {len(result.points)} points, {result.executed} executed, "
+        f"{result.skipped} resumed from {result.store_path}"
+    )
+    print()
+    rows = []
+    lp_errors = []
+    for point, record in zip(result.points, result.records):
+        validation = record.get("validation") or {}
+        lp = (validation.get("predictions") or {}).get("lp") or {}
+        rel_error = lp.get("rel_error")
+        if record.get("status") == "ok" and rel_error is not None:
+            lp_errors.append(float(rel_error))
+        rows.append(
+            [
+                point.label(),
+                record.get("status"),
+                validation.get("measured_total"),
+                lp.get("total"),
+                "-" if rel_error is None else f"{rel_error:.4f}",
+                "-"
+                if lp.get("rank_agreement") is None
+                else f"{lp['rank_agreement']:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["point", "status", "measured", "lp optimum", "lp rel err", "rank agr"],
+            rows,
+        )
+    )
+    if result.error_records:
+        print()
+        for record in result.error_records:
+            print(f"error: {record.get('params')}: {record.get('error')}", file=sys.stderr)
+    print()
+    print("model-vs-simulation error summary:")
+    summary_rows = [
+        [
+            stats.model,
+            stats.count,
+            stats.mean_rel_error,
+            stats.median_rel_error,
+            stats.p90_rel_error,
+            stats.max_rel_error,
+            stats.mean_rank_agreement,
+        ]
+        for stats in report.models.values()
+    ]
+    print(
+        format_table(
+            ["model", "points", "mean err", "median err", "p90 err", "max err", "rank agr"],
+            summary_rows,
+        )
+    )
+    if not args.no_plot and lp_errors:
+        print()
+        series = TimeSeries(
+            times=[float(i + 1) for i in range(len(lp_errors))],
+            values=lp_errors,
+            label="LP rel error",
+            interval=1.0,
+        )
+        print(
+            ascii_chart(
+                [series],
+                width=min(72, max(len(lp_errors) * 4, 24)),
+                height=10,
+                title="LP-vs-simulation relative error per grid point (x = point #)",
+            )
+        )
+    return exit_code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (also exposed as the ``mptcp-overlap`` console script)."""
     parser = _build_parser()
@@ -340,6 +497,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _command_sweep,
         "fairness": _command_fairness,
         "dynamics": _command_dynamics,
+        "campaign": _command_campaign,
     }
     return handlers[args.command](args)
 

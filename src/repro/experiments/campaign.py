@@ -1,0 +1,591 @@
+"""Campaign subsystem: resumable, sharded parameter sweeps with validation.
+
+One-off runs answer one question about one configuration; the paper's claims
+(and the ROADMAP's many-scenario ambitions) need *grids*: every congestion
+control on every topology across link rates, delays, loss and dynamics.  This
+module turns those grids into restartable batch jobs:
+
+* :class:`CampaignSpec` declares a grid (scenario x congestion control x
+  link rate/delay scale x loss rate x dynamics schedule x path manager) and
+  expands it into picklable :class:`~repro.experiments.harness.ExperimentConfig`
+  / :class:`~repro.experiments.multiflow.MultiFlowConfig` points, each keyed
+  by a content hash of its parameters;
+* :func:`run_campaign` executes the points in chunks on top of
+  :func:`~repro.experiments.harness.run_scenarios_parallel`, persisting every
+  finished point to a JSONL :class:`ResultStore` -- re-invoking the campaign
+  skips completed points, so a crashed or extended grid resumes for free;
+* every point is cross-validated against the analytical models
+  (:mod:`repro.measure.validation`) and the campaign aggregates the error
+  distributions into a :class:`~repro.measure.validation.ValidationReport`;
+* :data:`CAMPAIGN_GRIDS` names the stock grids exposed by
+  ``repro.cli campaign``.
+
+Grid expansion eagerly builds each point's constraint system and calls
+:meth:`~repro.model.bottleneck.ConstraintSystem.validate`, so a degenerate
+grid fails with the offending point's parameters instead of a solver trace
+from deep inside a worker process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError, ModelError
+from ..measure.report import sanitize_metrics
+from ..measure.validation import (
+    ValidationReport,
+    validate_experiment,
+    validate_multiflow,
+)
+from ..model.bottleneck import ConstraintSystem, build_constraints
+from ..model.paths import PathSet
+from ..netsim.dynamics import DynamicsSpec, LinkRateChange, LossBurst, Schedule
+from ..netsim.topology import Topology
+from ..topologies.generators import shared_bottleneck, wifi_cellular
+from ..topologies.paper import PAPER_DEFAULT_PATH_INDEX, paper_scenario
+from .harness import ExperimentConfig, run_experiment, run_scenarios_parallel
+from .multiflow import MultiFlowConfig, run_multiflow
+from .scenarios import COMPETITION_SCENARIOS
+
+#: Single-connection scenario axis values (name -> zero-argument builder).
+SINGLE_SCENARIOS: Dict[str, Callable[[], Tuple[Topology, PathSet]]] = {
+    "paper": paper_scenario,
+    "wifi_cellular": wifi_cellular,
+    "shared_bottleneck": shared_bottleneck,
+}
+
+#: Dynamics-schedule axis values (besides the loss axis, which composes in).
+DYNAMICS_CHOICES = ("none", "bottleneck_step")
+
+#: Path-manager axis values ("failover" is single-connection only).
+PATH_MANAGER_CHOICES = ("default", "failover")
+
+
+def _build_single_scenario(
+    kind: str, rate_scale: float, delay_scale: float
+) -> Tuple[Topology, PathSet]:
+    """Module-level scenario factory so expanded configs stay picklable."""
+    try:
+        builder = SINGLE_SCENARIOS[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown campaign scenario {kind!r}; choose from {sorted(SINGLE_SCENARIOS)}"
+        ) from None
+    topology, paths = builder()
+    topology.scale_links(rate=rate_scale, delay=delay_scale)
+    return topology, paths
+
+
+def point_key(params: Dict[str, object]) -> str:
+    """Stable content hash of one grid point's parameters.
+
+    The key addresses the point in the JSONL result store; any change to a
+    parameter (including duration or sampling) yields a fresh key, so stale
+    records can never shadow a different experiment.
+    """
+    canonical = json.dumps(params, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class CampaignPoint:
+    """One expanded grid point: parameters, content key and runnable config."""
+
+    key: str
+    params: Dict[str, object]
+    config: Union[ExperimentConfig, MultiFlowConfig]
+
+    def label(self) -> str:
+        """Compact human-readable identification of the point."""
+        parts = [
+            str(self.params.get("scenario", "?")),
+            str(self.params.get("congestion_control", "?")),
+            f"x{self.params.get('rate_scale', 1.0):g}",
+        ]
+        if self.params.get("delay_scale", 1.0) != 1.0:
+            parts.append(f"d{self.params['delay_scale']:g}")
+        if self.params.get("loss_rate", 0.0):
+            parts.append(f"loss{self.params['loss_rate']:g}")
+        if self.params.get("dynamics", "none") != "none":
+            parts.append(str(self.params["dynamics"]))
+        if self.params.get("path_manager", "default") != "default":
+            parts.append(str(self.params["path_manager"]))
+        return "/".join(parts)
+
+
+@dataclass
+class CampaignSpec:
+    """A parameter grid over scenarios, controllers and link conditions.
+
+    Every combination of the axis values becomes one simulation point; axes
+    default to a single neutral value, so a spec only grows along the axes a
+    study actually sweeps.  ``kind`` selects the runner: ``"single"`` points
+    are :class:`ExperimentConfig` (one MPTCP connection, scenario names from
+    :data:`SINGLE_SCENARIOS`), ``"multiflow"`` points are
+    :class:`MultiFlowConfig` (scenario names from
+    :data:`~repro.experiments.scenarios.COMPETITION_SCENARIOS`).
+    """
+
+    name: str
+    kind: str = "single"
+    scenarios: Sequence[str] = ("paper",)
+    congestion_controls: Sequence[str] = ("cubic",)
+    rate_scales: Sequence[float] = (1.0,)
+    delay_scales: Sequence[float] = (1.0,)
+    loss_rates: Sequence[float] = (0.0,)
+    dynamics: Sequence[str] = ("none",)
+    path_managers: Sequence[str] = ("default",)
+    duration: float = 2.0
+    sampling_interval: float = 0.1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("single", "multiflow"):
+            raise ConfigurationError(
+                f"unknown campaign kind {self.kind!r}; choose 'single' or 'multiflow'"
+            )
+        for axis in (
+            "scenarios",
+            "congestion_controls",
+            "rate_scales",
+            "delay_scales",
+            "loss_rates",
+            "dynamics",
+            "path_managers",
+        ):
+            if not list(getattr(self, axis)):
+                raise ConfigurationError(f"campaign axis {axis!r} must not be empty")
+        from ..core.coupled import MULTIPATH_ALGORITHMS
+
+        for congestion_control in self.congestion_controls:
+            if congestion_control not in MULTIPATH_ALGORITHMS:
+                raise ConfigurationError(
+                    f"unknown congestion control {congestion_control!r}; "
+                    f"choose from {sorted(MULTIPATH_ALGORITHMS)}"
+                )
+        registry = SINGLE_SCENARIOS if self.kind == "single" else COMPETITION_SCENARIOS
+        for scenario in self.scenarios:
+            if scenario not in registry:
+                raise ConfigurationError(
+                    f"unknown {self.kind} campaign scenario {scenario!r}; "
+                    f"choose from {sorted(registry)}"
+                )
+        for name in self.dynamics:
+            if name not in DYNAMICS_CHOICES:
+                raise ConfigurationError(
+                    f"unknown dynamics choice {name!r}; choose from {DYNAMICS_CHOICES}"
+                )
+        for name in self.path_managers:
+            if name not in PATH_MANAGER_CHOICES:
+                raise ConfigurationError(
+                    f"unknown path manager {name!r}; choose from {PATH_MANAGER_CHOICES}"
+                )
+            if name == "failover" and self.kind == "multiflow":
+                raise ConfigurationError(
+                    "the 'failover' path manager applies to single-connection points only"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return (
+            len(list(self.scenarios))
+            * len(list(self.congestion_controls))
+            * len(list(self.rate_scales))
+            * len(list(self.delay_scales))
+            * len(list(self.loss_rates))
+            * len(list(self.dynamics))
+            * len(list(self.path_managers))
+        )
+
+    def expand(self) -> List[CampaignPoint]:
+        """Expand the grid into validated, picklable simulation points.
+
+        Each distinct (scenario, rate, delay) combination's constraint
+        system is checked once via
+        :meth:`~repro.model.bottleneck.ConstraintSystem.validate`; a
+        degenerate combination raises :class:`ConfigurationError` naming the
+        offending point's parameters.
+        """
+        points: List[CampaignPoint] = []
+        scenario_cache: Dict[Tuple, Tuple[Topology, PathSet, ConstraintSystem]] = {}
+        for scenario in self.scenarios:
+            for rate_scale in self.rate_scales:
+                for delay_scale in self.delay_scales:
+                    cache_key = (scenario, float(rate_scale), float(delay_scale))
+                    if cache_key not in scenario_cache:
+                        scenario_cache[cache_key] = self._built_scenario(
+                            scenario, rate_scale, delay_scale
+                        )
+                    topology, paths, system = scenario_cache[cache_key]
+                    for congestion_control in self.congestion_controls:
+                        for loss_rate in self.loss_rates:
+                            for dynamics_name in self.dynamics:
+                                for path_manager in self.path_managers:
+                                    points.append(
+                                        self._point(
+                                            scenario=scenario,
+                                            congestion_control=congestion_control,
+                                            rate_scale=float(rate_scale),
+                                            delay_scale=float(delay_scale),
+                                            loss_rate=float(loss_rate),
+                                            dynamics_name=dynamics_name,
+                                            path_manager=path_manager,
+                                            paths=paths,
+                                            system=system,
+                                        )
+                                    )
+        return points
+
+    # ------------------------------------------------------------------
+    def _built_scenario(
+        self, scenario: str, rate_scale: float, delay_scale: float
+    ) -> Tuple[Topology, PathSet, ConstraintSystem]:
+        if self.kind == "single":
+            topology, paths = _build_single_scenario(scenario, rate_scale, delay_scale)
+        else:
+            config = _competition_config(
+                scenario, "lia", self.duration, self.sampling_interval
+            )
+            topology, paths = config.build_scenario()
+            topology.scale_links(rate=rate_scale, delay=delay_scale)
+        system = build_constraints(topology, paths)
+        try:
+            system.validate()
+        except ModelError as error:
+            params = {
+                "campaign": self.name,
+                "scenario": scenario,
+                "rate_scale": rate_scale,
+                "delay_scale": delay_scale,
+            }
+            raise ConfigurationError(
+                f"degenerate campaign grid point {json.dumps(params, sort_keys=True)}: {error}"
+            ) from error
+        return topology, paths, system
+
+    def _point(
+        self,
+        *,
+        scenario: str,
+        congestion_control: str,
+        rate_scale: float,
+        delay_scale: float,
+        loss_rate: float,
+        dynamics_name: str,
+        path_manager: str,
+        paths: PathSet,
+        system: ConstraintSystem,
+    ) -> CampaignPoint:
+        params = {
+            "kind": self.kind,
+            "scenario": scenario,
+            "congestion_control": congestion_control,
+            "rate_scale": rate_scale,
+            "delay_scale": delay_scale,
+            "loss_rate": loss_rate,
+            "dynamics": dynamics_name,
+            "path_manager": path_manager,
+            "duration": float(self.duration),
+            "sampling_interval": float(self.sampling_interval),
+        }
+        spec = _point_dynamics(dynamics_name, loss_rate, system, self.duration)
+        if self.kind == "single":
+            manager = None
+            if path_manager == "failover":
+                from ..core.path_manager import FailoverPathManager
+
+                manager = FailoverPathManager(list(paths))
+            config: Union[ExperimentConfig, MultiFlowConfig] = ExperimentConfig(
+                name=f"{self.name}-{scenario}-{congestion_control}",
+                scenario=partial(
+                    _build_single_scenario, scenario, rate_scale, delay_scale
+                ),
+                congestion_control=congestion_control,
+                duration=self.duration,
+                sampling_interval=self.sampling_interval,
+                default_path_index=(
+                    PAPER_DEFAULT_PATH_INDEX if scenario == "paper" else 0
+                ),
+                path_manager=manager,
+                dynamics=spec,
+            )
+        else:
+            config = _competition_config(
+                scenario, congestion_control, self.duration, self.sampling_interval
+            )
+            topology, base_paths = config.build_scenario()
+            topology.scale_links(rate=rate_scale, delay=delay_scale)
+            config = config.with_overrides(
+                name=f"{self.name}-{scenario}-{congestion_control}",
+                scenario=(topology, base_paths),
+                dynamics=spec,
+            )
+        return CampaignPoint(key=point_key(params), params=params, config=config)
+
+
+def _competition_config(
+    scenario: str, congestion_control: str, duration: float, sampling_interval: float
+) -> MultiFlowConfig:
+    """Instantiate a named competition scenario with one controller everywhere."""
+    builder = COMPETITION_SCENARIOS[scenario]
+    kwargs: Dict[str, object] = {
+        "duration": duration,
+        "sampling_interval": sampling_interval,
+    }
+    if scenario == "two_mptcp_competition":
+        kwargs["congestion_control_a"] = congestion_control
+        kwargs["congestion_control_b"] = congestion_control
+    else:
+        kwargs["congestion_control"] = congestion_control
+    return builder(**kwargs)
+
+
+def _most_shared_link(system: ConstraintSystem) -> Tuple[Tuple[str, str], float]:
+    """The constraint link crossed by the most paths (ties: first in order)."""
+    constraints = system.shared_constraints() or system.constraints
+    best = max(constraints, key=lambda c: len(c.path_indices))
+    return best.link, best.capacity
+
+
+def _point_dynamics(
+    dynamics_name: str,
+    loss_rate: float,
+    system: ConstraintSystem,
+    duration: float,
+) -> Optional[DynamicsSpec]:
+    """Compose the point's dynamics schedule (step events and/or loss)."""
+    schedule = Schedule()
+    descriptions: List[str] = []
+    link, capacity = _most_shared_link(system)
+    if dynamics_name == "bottleneck_step":
+        down_at, up_at = 0.4 * duration, 0.7 * duration
+        schedule.at(down_at, LinkRateChange(link[0], link[1], capacity * 0.5))
+        schedule.at(up_at, LinkRateChange(link[0], link[1], capacity))
+        descriptions.append(
+            f"{link[0]}-{link[1]} halves at t={down_at:g}s, restores at t={up_at:g}s"
+        )
+    if loss_rate > 0.0:
+        schedule.at(
+            0.0,
+            LossBurst(link[0], link[1], duration=duration, loss_rate=loss_rate, seed=1),
+        )
+        descriptions.append(f"{loss_rate:g} loss on {link[0]}-{link[1]}")
+    if not schedule:
+        return None
+    return DynamicsSpec(schedule=schedule, description="; ".join(descriptions))
+
+
+# ------------------------------------------------------------------ execution
+def _execute_point(point: CampaignPoint) -> dict:
+    """Run one grid point and post-process it into a JSON-safe store record.
+
+    Module-level so :func:`run_scenarios_parallel` can ship it to worker
+    processes; failures become ``status: "error"`` records (the campaign
+    keeps going, and error points re-run on the next invocation).
+    """
+    record: Dict[str, object] = {"key": point.key, "params": dict(point.params)}
+    try:
+        if isinstance(point.config, MultiFlowConfig):
+            result = run_multiflow(point.config)
+            validation = validate_multiflow(result)
+        else:
+            result = run_experiment(point.config)
+            validation = validate_experiment(result)
+        record["status"] = "ok"
+        record["summary"] = result.summary()
+        record["validation"] = validation.as_dict()
+    except Exception as error:  # noqa: BLE001 - one bad point must not kill the grid
+        record["status"] = "error"
+        record["error"] = f"{type(error).__name__}: {error}"
+    return sanitize_metrics(record)  # type: ignore[return-value]
+
+
+class ResultStore:
+    """Append-only JSONL store of campaign point records, keyed by content hash.
+
+    Each line is one self-describing record (``key``, ``params``, ``status``
+    and, for successful points, the run summary plus validation).  Loading
+    tolerates a torn final line (crash mid-append) and keeps the *last*
+    record per key, so a re-run after a failure simply overrides the stale
+    error entry.
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path)
+
+    def load(self) -> Dict[str, dict]:
+        records: Dict[str, dict] = {}
+        if not self.path.exists():
+            return records
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail write from a crashed run
+                key = record.get("key")
+                if isinstance(key, str):
+                    records[key] = record
+        return records
+
+    def append(self, record: dict) -> None:
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(
+            sanitize_metrics(record), sort_keys=True, allow_nan=False
+        )
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one campaign invocation (fresh runs plus resumed records)."""
+
+    spec: CampaignSpec
+    store_path: pathlib.Path
+    points: List[CampaignPoint]
+    records: List[dict]
+    executed: int
+    skipped: int
+
+    @property
+    def ok_records(self) -> List[dict]:
+        return [r for r in self.records if r.get("status") == "ok"]
+
+    @property
+    def error_records(self) -> List[dict]:
+        return [r for r in self.records if r.get("status") == "error"]
+
+    def validation_report(self) -> ValidationReport:
+        return ValidationReport.from_validations(
+            [r.get("validation") for r in self.ok_records if r.get("validation")]
+        )
+
+    def summary(self) -> dict:
+        return {
+            "campaign": self.spec.name,
+            "kind": self.spec.kind,
+            "points": len(self.points),
+            "executed": self.executed,
+            "skipped": self.skipped,
+            "errors": len(self.error_records),
+            "store": str(self.store_path),
+            "report": self.validation_report().as_dict(),
+        }
+
+
+def _chunks(items: Sequence, size: int) -> List[List]:
+    return [list(items[i:i + size]) for i in range(0, len(items), size)]
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: Union[str, pathlib.Path, ResultStore],
+    *,
+    chunk_size: int = 4,
+    max_workers: Optional[int] = None,
+    resume: bool = True,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> CampaignResult:
+    """Execute a campaign grid, resuming from the store's completed points.
+
+    The pending points run in chunks of ``chunk_size`` through
+    :func:`run_scenarios_parallel` (one process per point inside a chunk);
+    every finished chunk is flushed to the JSONL store before the next one
+    starts, so a crash loses at most one chunk of work.  ``progress`` is
+    called with ``(points_done, points_pending_total)`` after each chunk
+    (and once with ``(0, total)`` up front).
+    """
+    if chunk_size < 1:
+        raise ConfigurationError("chunk_size must be at least 1")
+    store = store if isinstance(store, ResultStore) else ResultStore(store)
+    points = spec.expand()
+    existing = store.load() if resume else {}
+    done = {
+        key: record
+        for key, record in existing.items()
+        if record.get("status") == "ok"
+    }
+    pending = [point for point in points if point.key not in done]
+    if progress is not None:
+        progress(0, len(pending))
+    completed = 0
+    for chunk in _chunks(pending, chunk_size):
+        records = run_scenarios_parallel(
+            chunk, max_workers=max_workers, runner=_execute_point
+        )
+        for record in records:
+            store.append(record)
+            done[record["key"]] = record
+        completed += len(chunk)
+        if progress is not None:
+            progress(completed, len(pending))
+    return CampaignResult(
+        spec=spec,
+        store_path=store.path,
+        points=points,
+        records=[done[point.key] for point in points if point.key in done],
+        executed=len(pending),
+        skipped=len(points) - len(pending),
+    )
+
+
+# ------------------------------------------------------------------ stock grids
+def paper_cc_rate_campaign(
+    *,
+    duration: float = 1.5,
+    congestion_controls: Sequence[str] = ("cubic", "lia", "olia"),
+    rate_scales: Sequence[float] = (0.5, 1.0, 2.0),
+) -> CampaignSpec:
+    """Paper-topology controller x link-rate sweep with model validation.
+
+    Does the LP optimum keep predicting the measured aggregate when every
+    link is half / double the paper's speed, for each controller family?
+    """
+    return CampaignSpec(
+        name="paper_cc_rate",
+        kind="single",
+        scenarios=("paper",),
+        congestion_controls=tuple(congestion_controls),
+        rate_scales=tuple(rate_scales),
+        duration=duration,
+        description="paper topology: congestion control x uniform link-rate scale",
+    )
+
+
+def multiflow_fairness_campaign(
+    *,
+    duration: float = 2.0,
+    congestion_controls: Sequence[str] = ("lia", "olia"),
+    rate_scales: Sequence[float] = (0.6, 1.0),
+) -> CampaignSpec:
+    """Multi-flow fairness grid: competition scenarios x controller x rate."""
+    return CampaignSpec(
+        name="multiflow_fairness",
+        kind="multiflow",
+        scenarios=("mptcp_vs_tcp_shared_bottleneck", "two_mptcp_competition"),
+        congestion_controls=tuple(congestion_controls),
+        rate_scales=tuple(rate_scales),
+        duration=duration,
+        description="shared-bottleneck competition: scenario x controller x rate scale",
+    )
+
+
+#: Named campaign grids exposed through the CLI (``campaign`` command).
+CAMPAIGN_GRIDS: Dict[str, Callable[..., CampaignSpec]] = {
+    "paper_cc_rate": paper_cc_rate_campaign,
+    "multiflow_fairness": multiflow_fairness_campaign,
+}

@@ -193,15 +193,19 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
 
 
 def run_scenarios_parallel(
-    configs: Sequence[ExperimentConfig],
+    configs: Sequence,
     *,
     max_workers: Optional[int] = None,
-) -> List[ExperimentResult]:
+    runner: Callable = run_experiment,
+) -> List:
     """Run a scenario sweep, fanning the runs across worker processes.
 
     Each configuration is an independent simulation, so figure-style
     multi-scenario sweeps scale with cores.  Results come back in the order
-    of ``configs``.
+    of ``configs``.  ``runner`` maps one configuration to its result
+    (:func:`run_experiment` by default; the campaign layer substitutes its
+    own point executor) and must be a module-level callable to cross the
+    process boundary.
 
     Falls back to running serially when multiprocessing is unavailable
     (restricted sandboxes) or when a configuration cannot be pickled (e.g. a
@@ -210,20 +214,20 @@ def run_scenarios_parallel(
     """
     configs = list(configs)
     if len(configs) <= 1 or max_workers == 1:
-        return [run_experiment(config) for config in configs]
+        return [runner(config) for config in configs]
     try:
         # Probe picklability up front (a `scenario` lambda is the common
-        # offender) so that real errors raised *inside* run_experiment are
+        # offender) so that real errors raised *inside* the runner are
         # never mistaken for multiprocessing limitations below.
-        pickle.dumps(configs)
+        pickle.dumps((runner, configs))
     except Exception:
-        return [run_experiment(config) for config in configs]
+        return [runner(config) for config in configs]
     try:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(run_experiment, configs))
+            return list(pool.map(runner, configs))
     except (BrokenProcessPool, PermissionError):
         # No subprocess support (restricted sandbox): run in-process.
-        return [run_experiment(config) for config in configs]
+        return [runner(config) for config in configs]
 
 
 def paper_experiment(

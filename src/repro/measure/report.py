@@ -7,7 +7,27 @@ records.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Sequence
+
+
+def sanitize_metrics(value: object) -> object:
+    """Recursively replace non-finite floats with ``None`` (JSON ``null``).
+
+    ``json.dumps`` happily emits bare ``NaN`` / ``Infinity`` tokens, which are
+    not valid JSON and break downstream parsers.  Every machine-readable
+    summary (CLI ``--json`` output, the campaign result store) is passed
+    through this first, and then serialised with ``allow_nan=False`` so any
+    non-finite float that slips past fails loudly instead of silently
+    corrupting the output.
+    """
+    if isinstance(value, dict):
+        return {key: sanitize_metrics(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize_metrics(item) for item in value]
+    if isinstance(value, float):  # includes numpy.float64
+        return float(value) if math.isfinite(value) else None
+    return value
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:

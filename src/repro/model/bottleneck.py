@@ -96,6 +96,34 @@ class ConstraintSystem:
             limit = min(limit, constraint.capacity - others)
         return max(limit, 0.0)
 
+    def validate(self) -> None:
+        """Check that every path is bounded by at least one capacity constraint.
+
+        A path that crosses no constraint makes every throughput objective
+        unbounded; the LP then fails with an opaque solver message ("HiGHS
+        model_status is Unbounded") and progressive filling with a vague
+        error.  This raises a :class:`~repro.errors.ModelError` naming the
+        offending path(s) instead, so solvers and grid expansions can fail
+        with the actual misconfiguration.
+        """
+        if not self.paths:
+            raise ModelError("constraint system has no paths")
+        covered = set()
+        for constraint in self.constraints:
+            covered.update(constraint.path_indices)
+        unconstrained = [i for i in range(len(self.paths)) if i not in covered]
+        if unconstrained:
+            labels = ", ".join(self._path_label(i) for i in unconstrained)
+            raise ModelError(
+                f"unbounded allocation: {labels} cross(es) no capacity constraint; "
+                "every path needs at least one link-capacity bound"
+            )
+
+    def _path_label(self, index: int) -> str:
+        path = self.paths[index]
+        name = getattr(path, "name", "") or f"path {index + 1}"
+        return f"{name} (index {index})"
+
     def shared_constraints(self) -> List[Constraint]:
         """Constraints on links shared by at least two paths (the interesting ones)."""
         return [c for c in self.constraints if len(c.path_indices) >= 2]

@@ -51,9 +51,17 @@ class FluidResult:
         return float(sum(self.rates_mbps[-1]))
 
     def mean_rates(self, last_fraction: float = 0.25) -> List[float]:
-        """Average per-path rate over the last ``last_fraction`` of the run."""
-        start = int(len(self.rates_mbps) * (1.0 - last_fraction))
-        window = np.asarray(self.rates_mbps[start:])
+        """Average per-path rate over the last ``last_fraction`` of the run.
+
+        The averaging window always covers at least the final logged row, so
+        a ``last_fraction`` smaller than one logging step (including 0.0)
+        degrades to :attr:`final_rates` instead of averaging an empty slice.
+        """
+        rows = len(self.rates_mbps)
+        if rows == 0:
+            return []
+        start = min(int(rows * (1.0 - last_fraction)), rows - 1)
+        window = np.asarray(self.rates_mbps[max(start, 0):])
         return [float(v) for v in window.mean(axis=0)]
 
     def mean_total(self, last_fraction: float = 0.25) -> float:

@@ -69,6 +69,7 @@ def max_total_throughput(
     solver:
         ``"highs"`` (scipy), ``"vertex"`` (exact enumeration) or ``"auto"``.
     """
+    system.validate()
     n = system.path_count
     if weights is None:
         weights = [1.0] * n
@@ -116,6 +117,7 @@ def proportional_fair_rates(
     """
     if not _HAVE_SCIPY:
         raise ModelError("proportional fairness requires scipy")
+    system.validate()
     n = system.path_count
     a = system.matrix()
     c = system.rhs()

@@ -30,9 +30,8 @@ class MaxMinResult:
 
 def max_min_fair_rates(system: ConstraintSystem, *, max_rounds: int = 1000) -> MaxMinResult:
     """Compute the max-min fair allocation by progressive filling."""
+    system.validate()
     n = system.path_count
-    if n == 0:
-        raise ModelError("need at least one path")
     rates = [0.0] * n
     frozen = [False] * n
     freezing: List[Constraint] = [None] * n  # type: ignore[list-item]

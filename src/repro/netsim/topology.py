@@ -139,6 +139,41 @@ class Topology:
                 b, a, capacity_mbps, rspec.delay, rspec.queue_packets, rspec.queue_kind
             )
 
+    def set_delay(self, a: str, b: str, delay: float, *, bidirectional: bool = True) -> None:
+        """Change the propagation delay of an existing link."""
+        spec = self.link(a, b)
+        self._links[(a, b)] = LinkSpec(
+            a, b, spec.capacity_mbps, delay, spec.queue_packets, spec.queue_kind
+        )
+        if bidirectional:
+            rspec = self.link(b, a)
+            self._links[(b, a)] = LinkSpec(
+                b, a, rspec.capacity_mbps, delay, rspec.queue_packets, rspec.queue_kind
+            )
+
+    def scale_links(self, *, rate: float = 1.0, delay: float = 1.0) -> None:
+        """Multiply every link's capacity and/or propagation delay in place.
+
+        The uniform scaling used by parameter sweeps: the topology's shape
+        (and therefore its constraint structure) is preserved while the
+        absolute link speeds / RTTs move.
+        """
+        if rate <= 0:
+            raise TopologyError("rate scale must be positive")
+        if delay <= 0:
+            raise TopologyError("delay scale must be positive")
+        if rate == 1.0 and delay == 1.0:
+            return
+        for edge, spec in list(self._links.items()):
+            self._links[edge] = LinkSpec(
+                spec.src,
+                spec.dst,
+                spec.capacity_mbps * rate,
+                spec.delay * delay,
+                spec.queue_packets,
+                spec.queue_kind,
+            )
+
     @property
     def links(self) -> List[LinkSpec]:
         """All directed link specs (two per bidirectional link)."""

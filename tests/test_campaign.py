@@ -1,0 +1,276 @@
+"""Campaign subsystem: grid expansion, result store, resume and the CLI."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.errors import ConfigurationError
+from repro.experiments.campaign import (
+    CAMPAIGN_GRIDS,
+    CampaignSpec,
+    ResultStore,
+    _execute_point,
+    multiflow_fairness_campaign,
+    paper_cc_rate_campaign,
+    point_key,
+    run_campaign,
+)
+from repro.experiments.multiflow import MultiFlowConfig
+
+
+def small_spec(**overrides) -> CampaignSpec:
+    defaults = dict(
+        name="test",
+        kind="single",
+        scenarios=("paper",),
+        congestion_controls=("cubic",),
+        rate_scales=(1.0,),
+        duration=0.5,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+class TestCampaignSpec:
+    def test_expand_produces_full_product(self):
+        spec = small_spec(
+            congestion_controls=("cubic", "lia"), rate_scales=(0.5, 1.0, 2.0)
+        )
+        points = spec.expand()
+        assert len(points) == spec.size == 6
+        assert len({p.key for p in points}) == 6
+
+    def test_points_are_picklable(self):
+        for point in small_spec(path_managers=("default", "failover")).expand():
+            pickle.dumps(point)
+
+    def test_point_key_is_stable_and_parameter_sensitive(self):
+        params = {"scenario": "paper", "rate_scale": 1.0}
+        assert point_key(params) == point_key(dict(params))
+        assert point_key(params) != point_key({**params, "rate_scale": 2.0})
+
+    def test_same_grid_re_expands_to_same_keys(self):
+        keys_a = [p.key for p in small_spec(congestion_controls=("cubic", "lia")).expand()]
+        keys_b = [p.key for p in small_spec(congestion_controls=("cubic", "lia")).expand()]
+        assert keys_a == keys_b
+
+    def test_multiflow_kind_builds_multiflow_configs(self):
+        spec = small_spec(
+            kind="multiflow", scenarios=("mptcp_vs_tcp_shared_bottleneck",)
+        )
+        points = spec.expand()
+        assert all(isinstance(p.config, MultiFlowConfig) for p in points)
+
+    def test_rate_scale_scales_the_constraint_capacities(self):
+        point = small_spec(rate_scales=(2.0,)).expand()[0]
+        topology, _ = point.config.build_scenario()
+        assert topology.capacity_of("s", "v1") == pytest.approx(80.0)
+
+    def test_unknown_congestion_control_rejected_at_construction(self):
+        # A typo'd controller must fail fast, not burn the whole grid's
+        # runtime producing error records that defeat the resume property.
+        with pytest.raises(ConfigurationError, match="unknown congestion control"):
+            small_spec(congestion_controls=("cubicc",))
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown single campaign scenario"):
+            small_spec(scenarios=("nonsense",))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="must not be empty"):
+            small_spec(congestion_controls=())
+
+    def test_failover_manager_rejected_for_multiflow(self):
+        with pytest.raises(ConfigurationError, match="single-connection"):
+            small_spec(
+                kind="multiflow",
+                scenarios=("mptcp_vs_tcp_shared_bottleneck",),
+                path_managers=("failover",),
+            )
+
+    def test_degenerate_grid_fails_with_point_params(self, monkeypatch):
+        from repro.experiments import campaign as campaign_module
+        from repro.model.bottleneck import ConstraintSystem
+
+        def degenerate_constraints(topology, paths, **kwargs):
+            return ConstraintSystem(list(paths), [])
+
+        monkeypatch.setattr(campaign_module, "build_constraints", degenerate_constraints)
+        with pytest.raises(ConfigurationError) as excinfo:
+            small_spec(rate_scales=(1.5,)).expand()
+        message = str(excinfo.value)
+        assert "degenerate campaign grid point" in message
+        assert '"rate_scale": 1.5' in message
+        assert "model_status" not in message
+
+
+class TestResultStore:
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert ResultStore(tmp_path / "nope.jsonl").load() == {}
+
+    def test_append_and_load_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        store.append({"key": "abc", "status": "ok"})
+        store.append({"key": "def", "status": "error"})
+        records = store.load()
+        assert set(records) == {"abc", "def"}
+        assert len(store) == 2
+
+    def test_last_record_per_key_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        store.append({"key": "abc", "status": "error"})
+        store.append({"key": "abc", "status": "ok"})
+        assert store.load()["abc"]["status"] == "ok"
+
+    def test_torn_tail_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.append({"key": "abc", "status": "ok"})
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "def", "status"')  # crash mid-append
+        assert set(store.load()) == {"abc"}
+
+    def test_append_sanitizes_non_finite_metrics(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        store.append({"key": "abc", "metric": float("nan")})
+        line = (tmp_path / "store.jsonl").read_text().strip()
+        assert json.loads(line)["metric"] is None
+        assert "NaN" not in line
+
+
+class TestRunCampaign:
+    def test_second_invocation_executes_zero_points(self, tmp_path):
+        spec = small_spec(congestion_controls=("cubic", "lia"))
+        store = tmp_path / "store.jsonl"
+        first = run_campaign(spec, store, max_workers=1)
+        assert (first.executed, first.skipped) == (2, 0)
+        second = run_campaign(spec, store, max_workers=1)
+        assert (second.executed, second.skipped) == (0, 2)
+        assert [r["key"] for r in second.records] == [p.key for p in second.points]
+
+    def test_grid_extension_runs_only_new_points(self, tmp_path):
+        store = tmp_path / "store.jsonl"
+        run_campaign(small_spec(), store, max_workers=1)
+        extended = run_campaign(
+            small_spec(congestion_controls=("cubic", "lia")), store, max_workers=1
+        )
+        assert (extended.executed, extended.skipped) == (1, 1)
+
+    def test_resume_disabled_re_runs_everything(self, tmp_path):
+        store = tmp_path / "store.jsonl"
+        run_campaign(small_spec(), store, max_workers=1)
+        fresh = run_campaign(small_spec(), store, max_workers=1, resume=False)
+        assert fresh.executed == 1
+
+    def test_progress_reports_chunk_completion(self, tmp_path):
+        calls = []
+        spec = small_spec(congestion_controls=("cubic", "lia", "olia"))
+        run_campaign(
+            spec,
+            tmp_path / "store.jsonl",
+            chunk_size=2,
+            max_workers=1,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls == [(0, 3), (2, 3), (3, 3)]
+
+    def test_error_points_are_recorded_and_retried(self, tmp_path):
+        spec = small_spec()
+        store = tmp_path / "store.jsonl"
+        point = spec.expand()[0]
+        broken = ResultStore(store)
+        broken.append({"key": point.key, "params": point.params, "status": "error", "error": "boom"})
+        result = run_campaign(spec, store, max_workers=1)
+        assert result.executed == 1
+        assert result.records[0]["status"] == "ok"
+
+    def test_records_contain_validation(self, tmp_path):
+        result = run_campaign(small_spec(), tmp_path / "store.jsonl", max_workers=1)
+        record = result.records[0]
+        assert record["status"] == "ok"
+        assert record["validation"]["predictions"]["lp"]["total"] == pytest.approx(90.0)
+        report = result.validation_report()
+        assert report.points == 1
+        assert report.models["lp"].count == 1
+
+    def test_execute_point_turns_failures_into_error_records(self):
+        point = small_spec().expand()[0]
+        point.config = point.config.with_overrides(congestion_control="nonsense")
+        record = _execute_point(point)
+        assert record["status"] == "error"
+        assert "nonsense" in record["error"]
+
+    def test_invalid_chunk_size_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            run_campaign(small_spec(), tmp_path / "s.jsonl", chunk_size=0)
+
+
+class TestNamedGrids:
+    def test_registry_names(self):
+        assert set(CAMPAIGN_GRIDS) == {"paper_cc_rate", "multiflow_fairness"}
+
+    def test_paper_grid_shape(self):
+        spec = paper_cc_rate_campaign(duration=1.0)
+        assert spec.kind == "single"
+        assert spec.size == 9
+        assert spec.duration == 1.0
+
+    def test_fairness_grid_is_multiflow(self):
+        spec = multiflow_fairness_campaign()
+        assert spec.kind == "multiflow"
+        assert spec.size == 8
+
+
+class TestCampaignCli:
+    def test_list_grids(self, capsys):
+        assert cli_main(["campaign", "--list"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out == sorted(CAMPAIGN_GRIDS)
+
+    def test_unknown_grid_errors(self, capsys):
+        assert cli_main(["campaign", "nonsense"]) == 2
+        assert "choose from" in capsys.readouterr().err
+
+    def test_missing_grid_errors(self, capsys):
+        assert cli_main(["campaign"]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_run_and_resume_via_cli(self, tmp_path, capsys, monkeypatch):
+        from repro.experiments import campaign as campaign_module
+
+        monkeypatch.setitem(
+            campaign_module.CAMPAIGN_GRIDS, "paper_cc_rate", lambda **kw: small_spec(**kw)
+        )
+        store = str(tmp_path / "store.jsonl")
+        assert cli_main(["campaign", "paper_cc_rate", "--store", store, "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert "1 executed, 0 resumed" in out
+        assert "model-vs-simulation error summary" in out
+
+        assert (
+            cli_main(["campaign", "paper_cc_rate", "--store", store, "--json"]) == 0
+        )
+        payload = json.loads(
+            capsys.readouterr().out,
+            parse_constant=lambda token: pytest.fail(f"non-finite JSON token {token}"),
+        )
+        assert payload["campaign"]["executed"] == 0
+        assert payload["campaign"]["skipped"] == 1
+        assert payload["points"][0]["status"] == "ok"
+
+    def test_error_points_yield_nonzero_exit(self, tmp_path, capsys, monkeypatch):
+        from repro.experiments import campaign as campaign_module
+
+        monkeypatch.setitem(
+            campaign_module.CAMPAIGN_GRIDS, "paper_cc_rate", lambda **kw: small_spec(**kw)
+        )
+
+        def always_fails(point):
+            return {"key": point.key, "params": point.params, "status": "error", "error": "boom"}
+
+        monkeypatch.setattr(campaign_module, "_execute_point", always_fails)
+        store = str(tmp_path / "store.jsonl")
+        assert cli_main(["campaign", "paper_cc_rate", "--store", store, "--no-plot"]) == 1
+        assert "boom" in capsys.readouterr().err

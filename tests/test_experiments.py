@@ -169,3 +169,177 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             cli_main(["nonsense"])
+
+
+class TestRunScenariosParallel:
+    """Serial fallbacks and the pluggable runner of the sweep executor."""
+
+    @staticmethod
+    def _configs(n=2, duration=0.3):
+        return [
+            paper_experiment("cubic", duration=duration).with_overrides(name=f"p{i}")
+            for i in range(n)
+        ]
+
+    def test_unpicklable_scenario_falls_back_to_serial(self, monkeypatch):
+        from repro.experiments import harness
+
+        class _Exploding:
+            def __init__(self, *a, **k):
+                raise AssertionError("process pool must not be constructed")
+
+        monkeypatch.setattr(harness, "ProcessPoolExecutor", _Exploding)
+        configs = [
+            ExperimentConfig(
+                name=f"lambda-{i}", scenario=lambda: make_two_path_scenario(), duration=0.3
+            )
+            for i in range(2)
+        ]
+        results = harness.run_scenarios_parallel(configs)
+        assert [r.config.name for r in results] == ["lambda-0", "lambda-1"]
+        assert all(r.optimum.total == pytest.approx(90.0) for r in results)
+
+    def test_max_workers_one_runs_serially(self, monkeypatch):
+        from repro.experiments import harness
+
+        class _Exploding:
+            def __init__(self, *a, **k):
+                raise AssertionError("process pool must not be constructed")
+
+        monkeypatch.setattr(harness, "ProcessPoolExecutor", _Exploding)
+        results = harness.run_scenarios_parallel(self._configs(), max_workers=1)
+        assert [r.config.name for r in results] == ["p0", "p1"]
+
+    def test_broken_process_pool_falls_back_to_serial(self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.experiments import harness
+
+        class _BrokenPool:
+            def __init__(self, *a, **k):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *a):
+                return False
+
+            def map(self, fn, items):
+                raise BrokenProcessPool("no subprocess support")
+
+        monkeypatch.setattr(harness, "ProcessPoolExecutor", _BrokenPool)
+        results = harness.run_scenarios_parallel(self._configs())
+        assert [r.config.name for r in results] == ["p0", "p1"]
+
+    def test_custom_runner_is_applied(self):
+        from repro.experiments.harness import run_scenarios_parallel
+
+        names = run_scenarios_parallel(
+            self._configs(), max_workers=1, runner=lambda config: config.name
+        )
+        assert names == ["p0", "p1"]
+
+
+class TestCliJsonNanSafety:
+    """Every handler's --json output must be valid JSON with NaN -> null."""
+
+    @staticmethod
+    def _parse(out):
+        start = min(i for i in (out.find("{"), out.find("[")) if i >= 0)
+        return json.loads(
+            out[start:],
+            parse_constant=lambda token: pytest.fail(f"non-finite JSON token {token!r}"),
+        )
+
+    def test_lp_json_sanitizes_nan(self, capsys, monkeypatch):
+        from types import SimpleNamespace
+
+        import repro.cli as cli
+
+        monkeypatch.setattr(
+            cli,
+            "greedy_fill",
+            lambda system, order=None: SimpleNamespace(
+                rates=[float("nan")], total=float("nan")
+            ),
+        )
+        assert cli_main(["lp", "--json"]) == 0
+        data = self._parse(capsys.readouterr().out)
+        assert data["greedy_from_default"]["total"] is None
+        assert data["greedy_from_default"]["rates"] == [None]
+
+    def test_compare_json_sanitizes_nan(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "cc_comparison", lambda algorithms, duration: {})
+        monkeypatch.setattr(
+            cli,
+            "summarize_results",
+            lambda results: [{"key": "cubic", "settle_s": float("nan")}],
+        )
+        assert cli_main(["compare", "--json"]) == 0
+        data = self._parse(capsys.readouterr().out)
+        assert data[0]["settle_s"] is None
+
+    def test_sweep_json_sanitizes_inf(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "olia_default_path_sweep", lambda duration, algorithm: {})
+        monkeypatch.setattr(
+            cli,
+            "summarize_results",
+            lambda results: [{"key": "0", "time_to_optimum_s": float("inf")}],
+        )
+        assert cli_main(["sweep", "--json"]) == 0
+        data = self._parse(capsys.readouterr().out)
+        assert data[0]["time_to_optimum_s"] is None
+
+    def test_fairness_json_sanitizes_nan(self, capsys, monkeypatch):
+        from types import SimpleNamespace
+
+        import repro.cli as cli
+
+        monkeypatch.setattr(
+            cli,
+            "run_multiflow",
+            lambda config: SimpleNamespace(summary=lambda: {"jain_index": float("nan")}),
+        )
+        assert cli_main(["fairness", "mptcp_vs_tcp_shared_bottleneck", "--json"]) == 0
+        data = self._parse(capsys.readouterr().out)
+        assert data["jain_index"] is None
+
+    def test_dynamics_json_sanitizes_nan(self, capsys, monkeypatch):
+        from types import SimpleNamespace
+
+        import repro.cli as cli
+
+        monkeypatch.setattr(
+            cli,
+            "run_experiment",
+            lambda config: SimpleNamespace(
+                summary=lambda: {"settle_time_s": float("nan")}, dynamics=None
+            ),
+        )
+        assert cli_main(["dynamics", "link_flap_failover", "--json"]) == 0
+        data = self._parse(capsys.readouterr().out)
+        assert data["settle_time_s"] is None
+
+    def test_figure_json_sanitizes_nan(self, capsys, monkeypatch):
+        from types import SimpleNamespace
+
+        import repro.cli as cli
+
+        monkeypatch.setattr(
+            cli,
+            "fig2c_fine",
+            lambda variant: SimpleNamespace(
+                per_path_series={},
+                total_series=TimeSeries(),
+                description="stub",
+                summary=lambda: {"achieved_mean_mbps": float("nan")},
+            ),
+        )
+        assert cli_main(["figure", "2c"]) == 0
+        data = self._parse(capsys.readouterr().out)
+        assert data["achieved_mean_mbps"] is None

@@ -140,3 +140,52 @@ class TestProportionalFairness:
         system = build_constraints(topology, paths)
         fair = proportional_fair_rates(system)
         assert fair.total == pytest.approx(80.0, rel=1e-2)
+
+
+class TestConstraintSystemValidate:
+    """A path crossing no capacity constraint must fail with a named error."""
+
+    @staticmethod
+    def _degenerate_system():
+        from repro.model.bottleneck import Constraint, ConstraintSystem
+        from repro.model.paths import Path
+
+        paths = [
+            Path(["s", "a", "d"], tag=1, name="Bounded"),
+            Path(["s", "b", "d"], tag=2, name="Unbounded"),
+        ]
+        constraints = [Constraint(link=("s", "a"), capacity=10.0, path_indices=(0,))]
+        return ConstraintSystem(paths, constraints)
+
+    def test_validate_passes_on_well_formed_systems(self, paper_system, paper_system_full):
+        paper_system.validate()
+        paper_system_full.validate()
+
+    def test_validate_names_the_unconstrained_path(self):
+        system = self._degenerate_system()
+        with pytest.raises(ModelError, match=r"Unbounded \(index 1\)"):
+            system.validate()
+
+    def test_validate_rejects_empty_path_list(self):
+        from repro.model.bottleneck import ConstraintSystem
+
+        with pytest.raises(ModelError, match="no paths"):
+            ConstraintSystem([], []).validate()
+
+    def test_lp_reports_unconstrained_path_not_solver_trace(self):
+        system = self._degenerate_system()
+        with pytest.raises(ModelError) as excinfo:
+            max_total_throughput(system)
+        message = str(excinfo.value)
+        assert "Unbounded (index 1)" in message
+        assert "model_status" not in message
+
+    def test_max_min_reports_unconstrained_path(self):
+        from repro.model.maxmin import max_min_fair_rates
+
+        with pytest.raises(ModelError, match="capacity constraint"):
+            max_min_fair_rates(self._degenerate_system())
+
+    def test_proportional_fair_reports_unconstrained_path(self):
+        with pytest.raises(ModelError, match="capacity constraint"):
+            proportional_fair_rates(self._degenerate_system())

@@ -14,6 +14,39 @@ def paper_system():
     return build_constraints(build_paper_topology(), paper_paths(), include_private_links=False)
 
 
+class TestMeanRatesWindow:
+    def test_zero_last_fraction_degrades_to_final_row(self, paper_system):
+        import warnings
+
+        result = FluidModel(paper_system).run("uncoupled", duration=2.0)
+        with warnings.catch_warnings():
+            # Regression: the window used to be empty ("Mean of empty slice"
+            # under -W error, NaN otherwise); it must clamp to the last row.
+            warnings.simplefilter("error")
+            rates = result.mean_rates(0.0)
+            total = result.mean_total(0.0)
+        assert rates == pytest.approx(result.final_rates)
+        assert total == pytest.approx(result.final_total)
+
+    def test_tiny_last_fraction_never_yields_nan(self, paper_system):
+        import math
+        import warnings
+
+        result = FluidModel(paper_system).run("lia", duration=0.5)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for fraction in (0.0, 1e-9, 0.001, 0.25, 1.0):
+                for rate in result.mean_rates(fraction):
+                    assert math.isfinite(rate)
+
+    def test_full_fraction_is_whole_trajectory_mean(self, paper_system):
+        import numpy as np
+
+        result = FluidModel(paper_system).run("uncoupled", duration=2.0)
+        expected = np.asarray(result.rates_mbps).mean(axis=0)
+        assert result.mean_rates(1.0) == pytest.approx(list(expected))
+
+
 class TestFluidModel:
     def test_rates_stay_feasible_up_to_transients(self, paper_system):
         model = FluidModel(paper_system)
