@@ -1,0 +1,88 @@
+"""Flow-level backend benchmarks: transitions per second and wall clock.
+
+Two workloads guard the two promises of :mod:`repro.flowsim`:
+
+* ``flowsim_transitions_second`` -- a steady-state M/G/1-PS-style birth-death
+  population (50k Pareto-sized flows through one bottleneck, utilisation
+  ~0.8) measuring raw event-loop throughput: every flow costs one arrival
+  and one completion transition, and the allocation cache absorbs the
+  recurring population vectors.
+* ``flowsim_10k_wall`` -- the ISSUE-6 scale scenario: 10,000 heavy-tailed
+  flows on the paper topology, run to completion.  Recorded as wall-clock
+  *seconds* (smaller is better), the figure the "<10 s" acceptance bound
+  checks.
+
+Workload descriptor lists are generated once and reused across timing
+rounds -- descriptors are immutable, and generation is input preparation,
+not simulation work.
+"""
+
+import random
+
+from repro.flowsim import FlowLevelSim, heavy_tailed_workload
+from repro.flowsim.engine import FlowDescriptor
+from repro.netsim.topology import Topology
+from repro.topologies.paper import paper_scenario
+
+_STEADY_FLOWS = 50_000
+_STEADY_CACHE = {}
+
+
+def _steady_descriptors():
+    """50k Pareto-sized flows, Poisson arrivals, one 1 Gbps bottleneck."""
+    cached = _STEADY_CACHE.get("steady")
+    if cached is None:
+        rng = random.Random(3)
+        clock = 0.0
+        descriptors = []
+        for index in range(_STEADY_FLOWS):
+            clock += rng.expovariate(100.0)
+            descriptors.append(
+                FlowDescriptor(
+                    name=f"f{index}",
+                    routes=(("a", "b"),),
+                    start=clock,
+                    # alpha=1.5 Pareto around a 1 MB mean -> ~0.8 utilisation
+                    # at 100 arrivals/s on 1 Gbps.
+                    size_bytes=max(1, int(1_000_000 * rng.paretovariate(1.5) / 3.0)),
+                )
+            )
+        cached = descriptors
+        _STEADY_CACHE["steady"] = cached
+    return cached
+
+
+def _steady_topology() -> Topology:
+    topology = Topology(name="flowsim-bench")
+    topology.add_host("a")
+    topology.add_host("b")
+    topology.add_link("a", "b", capacity_mbps=1000.0, delay=0.001)
+    return topology
+
+
+def flowsim_transitions_second() -> int:
+    """Run the steady-state population; returns flow transitions processed."""
+    sim = FlowLevelSim(_steady_topology())
+    sim.add_flows(_steady_descriptors())
+    result = sim.run(10_000.0)
+    assert result.transitions == 2 * _STEADY_FLOWS, result.transitions
+    return result.transitions
+
+
+def _scale_workload():
+    cached = _STEADY_CACHE.get("paper10k")
+    if cached is None:
+        _, paths = paper_scenario()
+        cached = heavy_tailed_workload(paths, flows=10_000, seed=7)
+        _STEADY_CACHE["paper10k"] = cached
+    return cached
+
+
+def flowsim_10k_wall() -> None:
+    """The 10k-flow heavy-tailed paper-topology scenario, run to completion."""
+    topology, _ = paper_scenario()
+    descriptors = _scale_workload()
+    sim = FlowLevelSim(topology)
+    sim.add_flows(descriptors)
+    result = sim.run(3600.0)
+    assert len(result.completions) == len(descriptors), len(result.completions)

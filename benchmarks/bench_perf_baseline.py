@@ -17,6 +17,7 @@ import sys
 import time
 
 from bench_campaign import campaign_points_second
+from bench_flowsim import flowsim_10k_wall, flowsim_transitions_second
 from bench_netsim_engine import (
     dynamics_link_flap_second,
     multiflow_fairness_second,
@@ -36,6 +37,14 @@ BENCH_REGISTRY = {
     "multiflow_fairness_events_per_sec": (multiflow_fairness_second, 3),
     "dynamics_link_flap_events_per_sec": (dynamics_link_flap_second, 3),
     "campaign_points_per_sec": (campaign_points_second, 3),
+    "flowsim_flow_events_per_sec": (flowsim_transitions_second, 3),
+}
+
+#: Wall-clock metrics: name -> (workload callable, timing rounds).  These
+#: record *seconds* (smaller is better); check_regression.py compares them
+#: against ``baseline * tolerance`` instead of a rate floor.
+WALL_REGISTRY = {
+    "flowsim_10k_flows_wall_sec": (flowsim_10k_wall, 3),
 }
 
 
@@ -51,9 +60,29 @@ def best_rate(fn, *, rounds: int) -> float:
     return best
 
 
+def best_wall(fn, *, rounds: int) -> float:
+    """Best (smallest) wall-clock seconds over ``rounds`` runs."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
 def measure_all() -> dict:
-    """Fresh events-per-second figures for every registered metric."""
-    return {name: best_rate(fn, rounds=rounds) for name, (fn, rounds) in BENCH_REGISTRY.items()}
+    """Fresh figures for every registered metric (rates, then wall clocks)."""
+    timings = {
+        name: best_rate(fn, rounds=rounds)
+        for name, (fn, rounds) in BENCH_REGISTRY.items()
+    }
+    timings.update(
+        {
+            name: best_wall(fn, rounds=rounds)
+            for name, (fn, rounds) in WALL_REGISTRY.items()
+        }
+    )
+    return timings
 
 
 def test_write_perf_baseline():
@@ -62,7 +91,7 @@ def test_write_perf_baseline():
         "schema": 1,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
-        "timings": {key: round(value, 1) for key, value in timings.items()},
+        "timings": {key: round(value, 3) for key, value in timings.items()},
     }
     RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"\nwrote {RESULTS_PATH}:", json.dumps(payload["timings"], indent=2), file=sys.stderr)
@@ -73,3 +102,7 @@ def test_write_perf_baseline():
     assert timings["multiflow_fairness_events_per_sec"] > 20_000
     assert timings["dynamics_link_flap_events_per_sec"] > 20_000
     assert timings["campaign_points_per_sec"] > 0.2
+    # ISSUE-6 acceptance bounds: the flow-level backend must clear 100k
+    # flow-transitions/sec and finish the 10k-flow scenario inside 10 s.
+    assert timings["flowsim_flow_events_per_sec"] > 100_000
+    assert timings["flowsim_10k_flows_wall_sec"] < 10.0

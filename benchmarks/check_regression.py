@@ -32,27 +32,62 @@ BASELINE_PATH = _HERE / "BENCH_engine.json"
 TOLERANCE = float(os.environ.get("BENCH_TOLERANCE", "4.0"))
 
 
-def main() -> int:
-    from bench_perf_baseline import BENCH_REGISTRY, best_rate
+def _warn_environment_drift(payload: dict) -> None:
+    """Warn when the baseline was recorded on a different interpreter/OS.
 
-    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))["timings"]
-    checked = sorted(set(baseline) & set(BENCH_REGISTRY))
-    skipped = sorted(set(baseline) - set(BENCH_REGISTRY))
-    unrecorded = sorted(set(BENCH_REGISTRY) - set(baseline))
+    A mismatched environment makes absolute comparisons unreliable (the
+    tolerance absorbs most of it, but the reader should know); re-record
+    with ``pytest benchmarks/bench_perf_baseline.py`` on this machine.
+    """
+    import platform
+
+    running = {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+    }
+    for field, current in running.items():
+        recorded = payload.get(field)
+        if recorded is not None and recorded != current:
+            print(
+                f"  WARNING: baseline {field} is {recorded!r} but this machine "
+                f"runs {current!r}; timings are cross-environment "
+                "(re-record with bench_perf_baseline.py)",
+                file=sys.stderr,
+            )
+
+
+def main() -> int:
+    from bench_perf_baseline import BENCH_REGISTRY, WALL_REGISTRY, best_rate, best_wall
+
+    payload = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    baseline = payload["timings"]
+    local = set(BENCH_REGISTRY) | set(WALL_REGISTRY)
+    checked = sorted(set(baseline) & local)
+    skipped = sorted(set(baseline) - local)
+    unrecorded = sorted(local - set(baseline))
 
     failed = []
     print(f"benchmark smoke vs {BASELINE_PATH.name} (tolerance {TOLERANCE:g}x)")
+    _warn_environment_drift(payload)
     for key in checked:
-        fn, rounds = BENCH_REGISTRY[key]
-        measured = best_rate(fn, rounds=max(rounds - 2, 2))
         recorded = baseline[key]
-        floor = recorded / TOLERANCE
-        status = "ok" if measured >= floor else "REGRESSION"
-        if measured < floor:
+        if key in WALL_REGISTRY:
+            # Wall-clock metric: seconds, smaller is better, so the guard is
+            # a ceiling at baseline * tolerance.
+            fn, rounds = WALL_REGISTRY[key]
+            measured = best_wall(fn, rounds=max(rounds - 2, 2))
+            ceiling = recorded * TOLERANCE
+            ok = measured <= ceiling
+            detail = f"{measured:>12.3f} s     (baseline {recorded:.3f}, ceiling {ceiling:.3f})"
+        else:
+            fn, rounds = BENCH_REGISTRY[key]
+            measured = best_rate(fn, rounds=max(rounds - 2, 2))
+            floor = recorded / TOLERANCE
+            ok = measured >= floor
+            detail = f"{measured:>12.0f} ev/s  (baseline {recorded:.0f}, floor {floor:.0f})"
+        if not ok:
             failed.append(key)
-        print(
-            f"  {key}: {measured:>12.0f} ev/s  (baseline {recorded:.0f}, floor {floor:.0f})  {status}"
-        )
+        print(f"  {key}: {detail}  {'ok' if ok else 'REGRESSION'}")
     for key in skipped:
         print(f"  {key}: skipped (recorded in baseline, no local bench)")
     for key in unrecorded:

@@ -109,6 +109,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fairness.add_argument("--duration", type=float, default=4.0)
     fairness.add_argument("--bottleneck-mbps", type=float, default=50.0)
+    fairness.add_argument(
+        "--backend",
+        default="packet",
+        choices=("packet", "flowlevel"),
+        help="simulation fidelity: per-packet ground truth or the flow-level fluid backend",
+    )
     fairness.add_argument("--json", action="store_true")
 
     dynamics = subparsers.add_parser(
@@ -159,6 +165,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip points already completed in the store (default: on)",
     )
     campaign.add_argument("--duration", type=float, default=None, help="per-point duration")
+    campaign.add_argument(
+        "--backend",
+        default="packet",
+        choices=("packet", "flowlevel"),
+        help="run every grid point at this fidelity; flowlevel points also "
+        "run their packet twin and record the cross-fidelity error",
+    )
     campaign.add_argument("--chunk-size", type=int, default=4)
     campaign.add_argument("--max-workers", type=int, default=None)
     campaign.add_argument("--no-plot", action="store_true", help="skip the error plot")
@@ -302,7 +315,7 @@ def _command_fairness(args: argparse.Namespace) -> int:
         kwargs["congestion_control_b"] = args.cc
     else:
         kwargs["congestion_control"] = args.cc
-    result = run_multiflow(builder(**kwargs))
+    result = run_multiflow(builder(**kwargs).with_overrides(backend=args.backend))
 
     if args.json:
         print(_dumps(result.summary()))
@@ -381,6 +394,7 @@ def _command_campaign(args: argparse.Namespace) -> int:
     if grid is None:
         return args.exit_code
     kwargs = {} if args.duration is None else {"duration": args.duration}
+    kwargs["backend"] = args.backend
     spec = CAMPAIGN_GRIDS[grid](**kwargs)
     store_path = args.store or f"campaign_{grid}.jsonl"
 
@@ -467,6 +481,15 @@ def _command_campaign(args: argparse.Namespace) -> int:
             summary_rows,
         )
     )
+    cross = result.cross_fidelity_report()
+    if cross is not None:
+        print()
+        print(
+            "flow-level vs packet-level: "
+            f"{cross['points']} points, mean rel err {cross['mean_rel_error']}, "
+            f"max rel err {cross['max_rel_error']}, "
+            f"rank agreement {cross['mean_rank_agreement']}"
+        )
     if not args.no_plot and lp_errors:
         print()
         series = TimeSeries(

@@ -142,12 +142,22 @@ class CampaignSpec:
     path_managers: Sequence[str] = ("default",)
     duration: float = 2.0
     sampling_interval: float = 0.1
+    #: Simulation fidelity for every point: ``"packet"`` or ``"flowlevel"``.
+    #: Flow-level points additionally run their packet-level twin and record
+    #: the cross-fidelity agreement (``cross_fidelity`` in the store record).
+    backend: str = "packet"
     description: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in ("single", "multiflow"):
             raise ConfigurationError(
                 f"unknown campaign kind {self.kind!r}; choose 'single' or 'multiflow'"
+            )
+        from ..flowsim.backend import BACKENDS
+
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown campaign backend {self.backend!r}; choose from {BACKENDS}"
             )
         for axis in (
             "scenarios",
@@ -188,6 +198,11 @@ class CampaignSpec:
             if name == "failover" and self.kind == "multiflow":
                 raise ConfigurationError(
                     "the 'failover' path manager applies to single-connection points only"
+                )
+            if name == "failover" and self.backend == "flowlevel":
+                raise ConfigurationError(
+                    "the flow-level backend has no subflow lifecycle; "
+                    "'failover' grids need backend='packet'"
                 )
 
     # ------------------------------------------------------------------
@@ -294,6 +309,10 @@ class CampaignSpec:
             "duration": float(self.duration),
             "sampling_interval": float(self.sampling_interval),
         }
+        if self.backend != "packet":
+            # Only non-default backends enter the content hash, so every key
+            # recorded by pre-flowlevel campaigns stays addressable.
+            params["backend"] = self.backend
         spec = _point_dynamics(dynamics_name, loss_rate, system, self.duration)
         if self.kind == "single":
             manager = None
@@ -314,6 +333,7 @@ class CampaignSpec:
                 ),
                 path_manager=manager,
                 dynamics=spec,
+                backend=self.backend,
             )
         else:
             config = _competition_config(
@@ -325,6 +345,7 @@ class CampaignSpec:
                 name=f"{self.name}-{scenario}-{congestion_control}",
                 scenario=(topology, base_paths),
                 dynamics=spec,
+                backend=self.backend,
             )
         return CampaignPoint(key=point_key(params), params=params, config=config)
 
@@ -400,6 +421,20 @@ def _execute_point(point: CampaignPoint) -> dict:
         record["status"] = "ok"
         record["summary"] = result.summary()
         record["validation"] = validation.as_dict()
+        if point.config.backend == "flowlevel":
+            # A flow-level point also runs its packet-level twin so the
+            # record carries the fidelity error, not just the model error.
+            from ..measure.validation import (
+                compare_experiment_backends,
+                compare_multiflow_backends,
+            )
+
+            twin = point.config.with_overrides(backend="packet")
+            if isinstance(twin, MultiFlowConfig):
+                comparison = compare_multiflow_backends(result, run_multiflow(twin))
+            else:
+                comparison = compare_experiment_backends(result, run_experiment(twin))
+            record["cross_fidelity"] = comparison.as_dict()
     except Exception as error:  # noqa: BLE001 - one bad point must not kill the grid
         record["status"] = "error"
         record["error"] = f"{type(error).__name__}: {error}"
@@ -474,10 +509,43 @@ class CampaignResult:
             [r.get("validation") for r in self.ok_records if r.get("validation")]
         )
 
-    def summary(self) -> dict:
+    def cross_fidelity_records(self) -> List[dict]:
+        """The per-point flow-level-vs-packet-level comparisons (if any)."""
+        return [
+            r["cross_fidelity"] for r in self.ok_records if r.get("cross_fidelity")
+        ]
+
+    def cross_fidelity_report(self) -> Optional[dict]:
+        """Aggregate backend-agreement stats across the grid's points."""
+        comparisons = self.cross_fidelity_records()
+        if not comparisons:
+            return None
+        errors = [
+            c["mean_rel_error"]
+            for c in comparisons
+            if c.get("mean_rel_error") is not None
+        ]
+        ranks = [
+            c["rank_agreement"]
+            for c in comparisons
+            if c.get("rank_agreement") is not None
+        ]
         return {
+            "points": len(comparisons),
+            "mean_rel_error": (
+                round(sum(errors) / len(errors), 6) if errors else None
+            ),
+            "max_rel_error": round(max(errors), 6) if errors else None,
+            "mean_rank_agreement": (
+                round(sum(ranks) / len(ranks), 4) if ranks else None
+            ),
+        }
+
+    def summary(self) -> dict:
+        summary = {
             "campaign": self.spec.name,
             "kind": self.spec.kind,
+            "backend": self.spec.backend,
             "points": len(self.points),
             "executed": self.executed,
             "skipped": self.skipped,
@@ -485,6 +553,10 @@ class CampaignResult:
             "store": str(self.store_path),
             "report": self.validation_report().as_dict(),
         }
+        cross = self.cross_fidelity_report()
+        if cross is not None:
+            summary["cross_fidelity"] = cross
+        return summary
 
 
 def _chunks(items: Sequence, size: int) -> List[List]:
@@ -549,6 +621,7 @@ def paper_cc_rate_campaign(
     duration: float = 1.5,
     congestion_controls: Sequence[str] = ("cubic", "lia", "olia"),
     rate_scales: Sequence[float] = (0.5, 1.0, 2.0),
+    backend: str = "packet",
 ) -> CampaignSpec:
     """Paper-topology controller x link-rate sweep with model validation.
 
@@ -562,6 +635,7 @@ def paper_cc_rate_campaign(
         congestion_controls=tuple(congestion_controls),
         rate_scales=tuple(rate_scales),
         duration=duration,
+        backend=backend,
         description="paper topology: congestion control x uniform link-rate scale",
     )
 
@@ -571,6 +645,7 @@ def multiflow_fairness_campaign(
     duration: float = 2.0,
     congestion_controls: Sequence[str] = ("lia", "olia"),
     rate_scales: Sequence[float] = (0.6, 1.0),
+    backend: str = "packet",
 ) -> CampaignSpec:
     """Multi-flow fairness grid: competition scenarios x controller x rate."""
     return CampaignSpec(
@@ -580,6 +655,7 @@ def multiflow_fairness_campaign(
         congestion_controls=tuple(congestion_controls),
         rate_scales=tuple(rate_scales),
         duration=duration,
+        backend=backend,
         description="shared-bottleneck competition: scenario x controller x rate scale",
     )
 

@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.connection import MptcpConnection
 from ..core.path_manager import PathManager
+from ..errors import ConfigurationError
 from ..measure.convergence import ConvergenceReport, analyze_convergence
 from ..measure.dynamics import DynamicsReport, analyze_dynamics
 from ..measure.flowstats import ConnectionStats, connection_stats
@@ -63,7 +64,22 @@ class ExperimentConfig:
     #: Optional time-varying network events; an empty/None spec costs
     #: nothing and leaves static runs byte-identical.
     dynamics: Optional[DynamicsSpec] = None
+    #: Which simulation fidelity runs this configuration: ``"packet"`` (the
+    #: per-segment simulator, the ground truth) or ``"flowlevel"`` (the
+    #: fluid backend in :mod:`repro.flowsim`, for many-flow scale).
+    backend: str = "packet"
+    #: Rate-sharing rule for the flow-level backend
+    #: (:data:`repro.flowsim.allocator.ALLOCATORS`); ignored at packet level.
+    flow_allocator: str = "maxmin"
     extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        from ..flowsim.backend import BACKENDS
+
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """A copy of this configuration with some fields replaced."""
@@ -133,7 +149,16 @@ class ExperimentResult:
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Run one measurement and return its post-processed result."""
+    """Run one measurement and return its post-processed result.
+
+    Dispatches on ``config.backend``: the packet-level simulator below, or
+    the flow-level twin (:func:`repro.flowsim.backend.run_experiment_flowlevel`)
+    returning the same result shape at fluid fidelity.
+    """
+    if config.backend == "flowlevel":
+        from ..flowsim.backend import run_experiment_flowlevel
+
+        return run_experiment_flowlevel(config)
     topology, paths = config.build_scenario()
     network = Network(topology)
     capture = network.attach_capture(paths.dst, data_only=True)

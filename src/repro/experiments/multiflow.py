@@ -125,6 +125,19 @@ class MultiFlowConfig:
     #: Optional time-varying network events applied before the run; an
     #: empty/None spec costs nothing (static runs stay byte-identical).
     dynamics: Optional[DynamicsSpec] = None
+    #: Simulation fidelity: ``"packet"`` (ground truth) or ``"flowlevel"``
+    #: (the fluid backend in :mod:`repro.flowsim`, for many-flow scale).
+    backend: str = "packet"
+    #: Rate-sharing rule for the flow-level backend; ignored at packet level.
+    flow_allocator: str = "maxmin"
+
+    def __post_init__(self) -> None:
+        from ..flowsim.backend import BACKENDS
+
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
 
     def with_overrides(self, **kwargs) -> "MultiFlowConfig":
         return replace(self, **kwargs)
@@ -251,7 +264,16 @@ class _BuiltFlow:
 
 
 def run_multiflow(config: MultiFlowConfig) -> MultiFlowResult:
-    """Run one multi-flow competition scenario and post-process it per flow."""
+    """Run one multi-flow competition scenario and post-process it per flow.
+
+    Dispatches on ``config.backend``: the packet-level simulator below, or
+    the flow-level twin (:func:`repro.flowsim.backend.run_multiflow_flowlevel`)
+    returning the same result shape at fluid fidelity.
+    """
+    if config.backend == "flowlevel":
+        from ..flowsim.backend import run_multiflow_flowlevel
+
+        return run_multiflow_flowlevel(config)
     if not config.flows:
         raise ConfigurationError("a multi-flow run needs at least one flow")
     topology, base_paths = config.build_scenario()

@@ -285,6 +285,119 @@ def validate_multiflow(
     return validate_against_models(system, measured, algorithm=algorithm)
 
 
+# -------------------------------------------------------------- cross-fidelity
+@dataclass
+class BackendComparison:
+    """Flow-level-vs-packet-level agreement on one scenario.
+
+    The packet-level simulator is the ground truth; every relative error is
+    taken against its rates.  ``rank_agreement`` is the same Kendall-style
+    concordance used for the model predictions, answering "does the fluid
+    backend order the flows the way the packet backend does?".
+    """
+
+    scenario: str
+    per_flow: Dict[str, dict] = field(default_factory=dict)
+    mean_rel_error: Optional[float] = None
+    max_rel_error: Optional[float] = None
+    rank_agreement: Optional[float] = None
+
+    def as_dict(self) -> dict:
+        def _round(value: Optional[float]) -> Optional[float]:
+            return None if value is None else round(value, 6)
+
+        return {
+            "scenario": self.scenario,
+            "per_flow": self.per_flow,
+            "mean_rel_error": _round(self.mean_rel_error),
+            "max_rel_error": _round(self.max_rel_error),
+            "rank_agreement": _round(self.rank_agreement),
+        }
+
+
+def compare_backend_rates(
+    flowlevel_mbps: Dict[str, float],
+    packet_mbps: Dict[str, float],
+    *,
+    scenario: str = "",
+    rank_tol: float = 0.02,
+) -> BackendComparison:
+    """Compare per-flow steady-state rates from the two backends.
+
+    Both dicts must cover the same flows.  ``rank_tol`` is the relative
+    tolerance under which two packet-level rates count as tied (packet rates
+    carry sampling noise that strict comparison would misread as order).
+    """
+    if set(flowlevel_mbps) != set(packet_mbps):
+        raise ModelError(
+            "backend comparison needs identical flow sets; "
+            f"got {sorted(flowlevel_mbps)} vs {sorted(packet_mbps)}"
+        )
+    names = sorted(flowlevel_mbps)
+    per_flow: Dict[str, dict] = {}
+    errors: List[float] = []
+    for name in names:
+        fluid = float(flowlevel_mbps[name])
+        packet = float(packet_mbps[name])
+        error = relative_error(fluid, packet)
+        per_flow[name] = {
+            "flowlevel_mbps": round(fluid, 4),
+            "packet_mbps": round(packet, 4),
+            "rel_error": None if error is None else round(error, 6),
+        }
+        if error is not None:
+            errors.append(error)
+    return BackendComparison(
+        scenario=scenario,
+        per_flow=per_flow,
+        mean_rel_error=sum(errors) / len(errors) if errors else None,
+        max_rel_error=max(errors) if errors else None,
+        rank_agreement=rank_agreement(
+            [flowlevel_mbps[name] for name in names],
+            [packet_mbps[name] for name in names],
+            tol=rank_tol,
+        ),
+    )
+
+
+def compare_experiment_backends(
+    flowlevel: "ExperimentResult",
+    packet: "ExperimentResult",
+    *,
+    tail_fraction: float = 0.5,
+    rank_tol: float = 0.02,
+) -> BackendComparison:
+    """Per-path rate agreement of one experiment run at both fidelities."""
+
+    def _rates(result: "ExperimentResult") -> Dict[str, float]:
+        return {
+            f"path-{tag}": _tail_mean(series, tail_fraction)
+            for tag, series in result.per_path_series.items()
+        }
+
+    return compare_backend_rates(
+        _rates(flowlevel),
+        _rates(packet),
+        scenario=packet.config.name,
+        rank_tol=rank_tol,
+    )
+
+
+def compare_multiflow_backends(
+    flowlevel: "MultiFlowResult",
+    packet: "MultiFlowResult",
+    *,
+    rank_tol: float = 0.02,
+) -> BackendComparison:
+    """Per-flow rate agreement of one multi-flow run at both fidelities."""
+    return compare_backend_rates(
+        {flow.name: flow.mean_mbps for flow in flowlevel.flows},
+        {flow.name: flow.mean_mbps for flow in packet.flows},
+        scenario=packet.config.name,
+        rank_tol=rank_tol,
+    )
+
+
 # ------------------------------------------------------------------ aggregate
 @dataclass
 class ModelErrorStats:
