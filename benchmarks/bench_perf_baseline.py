@@ -25,6 +25,7 @@ from bench_netsim_engine import (
     pump_events_with_handles,
     single_tcp_second,
 )
+from bench_workload import workload_10k_wall, workload_pageload_second
 
 RESULTS_PATH = pathlib.Path(__file__).with_name("BENCH_engine.json")
 
@@ -38,6 +39,7 @@ BENCH_REGISTRY = {
     "dynamics_link_flap_events_per_sec": (dynamics_link_flap_second, 3),
     "campaign_points_per_sec": (campaign_points_second, 3),
     "flowsim_flow_events_per_sec": (flowsim_transitions_second, 3),
+    "workload_pageload_events_per_sec": (workload_pageload_second, 3),
 }
 
 #: Wall-clock metrics: name -> (workload callable, timing rounds).  These
@@ -45,6 +47,7 @@ BENCH_REGISTRY = {
 #: against ``baseline * tolerance`` instead of a rate floor.
 WALL_REGISTRY = {
     "flowsim_10k_flows_wall_sec": (flowsim_10k_wall, 3),
+    "workload_10k_requests_wall_sec": (workload_10k_wall, 3),
 }
 
 
@@ -106,3 +109,7 @@ def test_write_perf_baseline():
     # flow-transitions/sec and finish the 10k-flow scenario inside 10 s.
     assert timings["flowsim_flow_events_per_sec"] > 100_000
     assert timings["flowsim_10k_flows_wall_sec"] < 10.0
+    # ISSUE-7 acceptance bounds: the workload subsystem must lower page-load
+    # populations at flow-engine speed and finish 10k requests in seconds.
+    assert timings["workload_pageload_events_per_sec"] > 5_000
+    assert timings["workload_10k_requests_wall_sec"] < 10.0

@@ -1,0 +1,68 @@
+"""Workload-subsystem benchmarks: page-load throughput and 10k-request wall.
+
+Two workloads guard the promises of :mod:`repro.workload`:
+
+* ``workload_pageload_second`` -- a web-page-load population (400 sessions,
+  3 pages of 1 main + 8 subresource transfers each) lowered onto the
+  flow-level engine from a pre-compiled plan, measuring how fast the
+  dependency-driven lowering (completion listeners scheduling children)
+  pushes flow transitions.
+* ``workload_10k_wall`` -- 500 conferencing sessions x 20 request/response
+  transfers = 10,000 requests, run end to end through :func:`run_workload`
+  (spec compile included).  Recorded as wall-clock *seconds* (smaller is
+  better); the acceptance bound is "a 10k-request workload finishes in
+  seconds, not minutes".
+
+The compiled page-load plan is cached across timing rounds -- plans are
+immutable and compilation is input preparation; the wall-clock metric
+deliberately includes compilation because it times the user-facing path.
+"""
+
+from repro.flowsim import FlowLevelSim
+from repro.workload import run_workload
+from repro.workload.flowlevel import FlowLevelWorkloadRun
+from repro.workload.scenarios import conferencing_load, web_page_load
+
+_CACHE = {}
+
+
+def _pageload_inputs():
+    """The compiled 400-session page-load plan plus its scenario builder."""
+    cached = _CACHE.get("pageload")
+    if cached is None:
+        config = web_page_load(sessions=400, duration=60.0, backend="flowlevel")
+        topology, paths = config.build_scenario()
+        plan = config.spec.compile(len(list(paths)))
+        cached = (config, plan)
+        _CACHE["pageload"] = cached
+    return cached
+
+
+def workload_pageload_second() -> int:
+    """Run the page-load plan on the fluid engine; returns flow transitions."""
+    config, plan = _pageload_inputs()
+    topology, paths = config.build_scenario()
+    sim = FlowLevelSim(topology)
+    run = FlowLevelWorkloadRun(sim, plan, list(paths))
+    run.install()
+    result = sim.run(300.0)
+    assert len(run.records) == plan.total_transfers, len(run.records)
+    return result.transitions
+
+
+def workload_10k_wall() -> None:
+    """500 conferencing sessions (10k requests) end to end via run_workload."""
+    config = conferencing_load(sessions=500, duration=60.0, backend="flowlevel")
+    result = run_workload(config.with_overrides(duration=180.0))
+    assert result.plan.total_transfers == 10_000, result.plan.total_transfers
+    assert result.fct.completed >= 9_500, result.fct.completed
+
+
+if __name__ == "__main__":
+    import time
+
+    for fn in (workload_pageload_second, workload_10k_wall):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        print(f"{fn.__name__}: {elapsed:.3f}s", "" if value is None else f"({value} events)")

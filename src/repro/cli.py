@@ -15,6 +15,10 @@ Sub-commands:
                   time and capacity-tracking error.
 * ``campaign`` -- run a named parameter-sweep grid with model-vs-simulation
                   validation, resuming completed points from a JSONL store.
+* ``workload`` -- run a named workload scenario (conferencing load, web page
+                  load) on either backend and print the flow-completion-time
+                  report; ``--compare`` also runs the other fidelity and
+                  reports the cross-backend FCT error.
 
 All ``--json`` output is NaN-safe: non-finite metrics are emitted as
 ``null`` and serialisation runs with ``allow_nan=False`` so a regression
@@ -44,11 +48,14 @@ from .experiments.scenarios import (
 )
 from .measure.report import format_table, sanitize_metrics
 from .measure.sampling import TimeSeries
+from .measure.validation import compare_workload_backends
 from .model.bottleneck import build_constraints
 from .model.greedy import greedy_fill
 from .model.lp import max_total_throughput, proportional_fair_rates
 from .model.maxmin import max_min_fair_rates
 from .topologies.paper import PAPER_DEFAULT_PATH_INDEX, paper_scenario
+from .workload.runner import run_workload
+from .workload.scenarios import WORKLOAD_SCENARIOS
 
 
 def _dumps(payload: object) -> str:
@@ -176,6 +183,41 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--max-workers", type=int, default=None)
     campaign.add_argument("--no-plot", action="store_true", help="skip the error plot")
     campaign.add_argument("--json", action="store_true")
+
+    workload = subparsers.add_parser(
+        "workload",
+        help="run a named workload scenario and report flow completion times",
+    )
+    workload.add_argument(
+        "scenario",
+        nargs="?",
+        metavar="scenario",
+        help=f"one of: {', '.join(sorted(WORKLOAD_SCENARIOS))}",
+    )
+    workload.add_argument(
+        "--list", action="store_true", help="list the available workloads and exit"
+    )
+    workload.add_argument(
+        "--backend",
+        default="flowlevel",
+        choices=("packet", "flowlevel"),
+        help="simulation fidelity (default: the fast flow-level backend)",
+    )
+    workload.add_argument(
+        "--duration", type=float, default=None, help="run length (scenario default if omitted)"
+    )
+    workload.add_argument(
+        "--sessions", type=int, default=None, help="session count (scenario default if omitted)"
+    )
+    workload.add_argument(
+        "--seed", type=int, default=None, help="workload seed (scenario default if omitted)"
+    )
+    workload.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run the other fidelity and report the cross-backend FCT error",
+    )
+    workload.add_argument("--json", action="store_true")
     return parser
 
 
@@ -509,6 +551,93 @@ def _command_campaign(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _command_workload(args: argparse.Namespace) -> int:
+    scenario = _resolve_scenario(args, WORKLOAD_SCENARIOS, "workload")
+    if scenario is None:
+        return args.exit_code
+    kwargs = {"backend": args.backend}
+    if args.duration is not None:
+        kwargs["duration"] = args.duration
+    if args.sessions is not None:
+        kwargs["sessions"] = args.sessions
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    config = WORKLOAD_SCENARIOS[scenario](**kwargs)
+    result = run_workload(config)
+
+    comparison = None
+    if args.compare:
+        other = "packet" if args.backend == "flowlevel" else "flowlevel"
+        twin = run_workload(config.with_overrides(backend=other))
+        flowlevel, packet = (result, twin) if args.backend == "flowlevel" else (twin, result)
+        comparison = compare_workload_backends(flowlevel, packet)
+
+    if args.json:
+        payload = {"workload": result.summary()}
+        if comparison is not None:
+            payload["cross_fidelity_fct"] = comparison.as_dict()
+        print(_dumps(payload))
+        return 0
+
+    fct = result.fct
+    print(
+        f"{scenario} [{result.backend}]: {len(result.plan.sessions)} sessions, "
+        f"{fct.completed}/{fct.offered} transfers completed "
+        f"({fct.completion_ratio:.1%}), {fct.total_bytes / 1e6:.1f} MB delivered"
+    )
+    print()
+    rows = [
+        ["mean", "-" if fct.mean_fct_s is None else f"{fct.mean_fct_s:.4f}"],
+        *[
+            [name, "-" if value is None else f"{value:.4f}"]
+            for name, value in fct.percentiles.items()
+        ],
+    ]
+    print(format_table(["FCT", "seconds"], rows))
+    if fct.pages:
+        print()
+        page_rows = [
+            ["pages", str(fct.pages)],
+            [
+                "mean load",
+                "-" if fct.mean_page_load_s is None else f"{fct.mean_page_load_s:.4f}",
+            ],
+            *[
+                [name, "-" if value is None else f"{value:.4f}"]
+                for name, value in fct.page_load_percentiles.items()
+            ],
+        ]
+        print(format_table(["page load", "value"], page_rows))
+    if fct.size_deciles:
+        print()
+        decile_rows = [
+            [
+                row["decile"],
+                row["flows"],
+                row["min_bytes"],
+                row["max_bytes"],
+                f"{row['mean_fct_s']:.4f}",
+                f"{row['p99_fct_s']:.4f}",
+            ]
+            for row in fct.size_deciles
+        ]
+        print(
+            format_table(
+                ["size decile", "flows", "min bytes", "max bytes", "mean fct s", "p99 fct s"],
+                decile_rows,
+            )
+        )
+    if comparison is not None:
+        print()
+        print(
+            "flow-level vs packet-level FCT: "
+            f"completion agreement {comparison.completion_agreement:.3f}, "
+            f"mean rel err {comparison.mean_rel_error}, "
+            f"max rel err {comparison.max_rel_error}"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (also exposed as the ``mptcp-overlap`` console script)."""
     parser = _build_parser()
@@ -521,6 +650,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fairness": _command_fairness,
         "dynamics": _command_dynamics,
         "campaign": _command_campaign,
+        "workload": _command_workload,
     }
     return handlers[args.command](args)
 

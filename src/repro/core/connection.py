@@ -127,6 +127,8 @@ class MptcpConnection:
         #: Unacknowledged DSN ranges rescued from failed/closed subflows,
         #: handed out ahead of fresh allocations (MPTCP re-injection).
         self._reinject: Deque[Tuple[int, int]] = deque()
+        #: FIFO of (stream end offset, callback) per queued sized transfer.
+        self._transfer_watchers: Deque[Tuple[int, object]] = deque()
         network.add_dynamics_listener(self._on_network_event)
         # O(1) dispatch for the dominant configuration: with an unbounded
         # greedy source both stock work-conserving schedulers grant every
@@ -228,9 +230,38 @@ class MptcpConnection:
     def on_data_acked(self, sender: TcpSender, dsn: int, length: int, now: float) -> None:
         """Subflow-level acknowledgement of a DSN range."""
         self._senders[sender.subflow_id].acked_bytes += length
-        self.allocator.acked_bytes += length
+        allocator = self.allocator
+        allocator.acked_bytes += length
         if self._starved_subflows:
             self._wake_starved_subflows()
+        if self._transfer_watchers:
+            watchers = self._transfer_watchers
+            while watchers and allocator.acked_bytes >= watchers[0][0]:
+                _, callback = watchers.popleft()
+                callback(now)
+
+    def queue_transfer(self, size_bytes: int, on_complete=None) -> None:
+        """Append a sized transfer to a bounded connection's byte stream.
+
+        The multipath counterpart of
+        :meth:`repro.tcp.connection.TransferQueueAdapter.enqueue`: the
+        connection must have been created with ``total_bytes`` set (``0``
+        for a pure request/response source), each call extends the stream by
+        ``size_bytes`` and ``on_complete(now)`` fires once the transfer's
+        last byte is acknowledged at connection level.  Subflows that went
+        quiescent after draining the previous transfer are kicked awake.
+        """
+        if size_bytes <= 0:
+            raise ConfigurationError("transfer size must be positive")
+        allocator = self.allocator
+        if allocator.total_bytes is None:
+            raise ConfigurationError(
+                "queue_transfer requires a bounded connection (total_bytes is None)"
+            )
+        allocator.total_bytes += size_bytes
+        if on_complete is not None:
+            self._transfer_watchers.append((allocator.total_bytes, on_complete))
+        self._kick_active_subflows()
 
     def _wake_starved_subflows(self) -> None:
         """Let previously refused subflows ask the scheduler again."""

@@ -48,6 +48,8 @@ from ..netsim.dynamics import DynamicsSpec, LinkRateChange, LossBurst, Schedule
 from ..netsim.topology import Topology
 from ..topologies.generators import shared_bottleneck, wifi_cellular
 from ..topologies.paper import PAPER_DEFAULT_PATH_INDEX, paper_scenario
+from ..workload.runner import WorkloadConfig, run_workload
+from ..workload.scenarios import WORKLOAD_SCENARIOS
 from .harness import ExperimentConfig, run_experiment, run_scenarios_parallel
 from .multiflow import MultiFlowConfig, run_multiflow
 from .scenarios import COMPETITION_SCENARIOS
@@ -98,7 +100,7 @@ class CampaignPoint:
 
     key: str
     params: Dict[str, object]
-    config: Union[ExperimentConfig, MultiFlowConfig]
+    config: Union[ExperimentConfig, MultiFlowConfig, WorkloadConfig]
 
     def label(self) -> str:
         """Compact human-readable identification of the point."""
@@ -115,6 +117,10 @@ class CampaignPoint:
             parts.append(str(self.params["dynamics"]))
         if self.params.get("path_manager", "default") != "default":
             parts.append(str(self.params["path_manager"]))
+        if self.params.get("load_scale") is not None:
+            parts.append(f"load{self.params['load_scale']:g}")
+        if self.params.get("size_scale") is not None:
+            parts.append(f"size{self.params['size_scale']:g}")
         return "/".join(parts)
 
 
@@ -128,7 +134,11 @@ class CampaignSpec:
     are :class:`ExperimentConfig` (one MPTCP connection, scenario names from
     :data:`SINGLE_SCENARIOS`), ``"multiflow"`` points are
     :class:`MultiFlowConfig` (scenario names from
-    :data:`~repro.experiments.scenarios.COMPETITION_SCENARIOS`).
+    :data:`~repro.experiments.scenarios.COMPETITION_SCENARIOS`), and
+    ``"workload"`` points are :class:`~repro.workload.runner.WorkloadConfig`
+    (scenario names from :data:`~repro.workload.scenarios.WORKLOAD_SCENARIOS`,
+    swept along the workload-specific ``load_scales`` / ``size_scales`` axes
+    instead of the loss/dynamics/path-manager axes).
     """
 
     name: str
@@ -140,6 +150,10 @@ class CampaignSpec:
     loss_rates: Sequence[float] = (0.0,)
     dynamics: Sequence[str] = ("none",)
     path_managers: Sequence[str] = ("default",)
+    #: Workload-kind axes: arrival-rate and transfer-size multipliers
+    #: applied via :meth:`~repro.workload.spec.WorkloadSpec.scaled`.
+    load_scales: Sequence[float] = (1.0,)
+    size_scales: Sequence[float] = (1.0,)
     duration: float = 2.0
     sampling_interval: float = 0.1
     #: Simulation fidelity for every point: ``"packet"`` or ``"flowlevel"``.
@@ -149,9 +163,10 @@ class CampaignSpec:
     description: str = ""
 
     def __post_init__(self) -> None:
-        if self.kind not in ("single", "multiflow"):
+        if self.kind not in ("single", "multiflow", "workload"):
             raise ConfigurationError(
-                f"unknown campaign kind {self.kind!r}; choose 'single' or 'multiflow'"
+                f"unknown campaign kind {self.kind!r}; "
+                "choose 'single', 'multiflow' or 'workload'"
             )
         from ..flowsim.backend import BACKENDS
 
@@ -167,6 +182,8 @@ class CampaignSpec:
             "loss_rates",
             "dynamics",
             "path_managers",
+            "load_scales",
+            "size_scales",
         ):
             if not list(getattr(self, axis)):
                 raise ConfigurationError(f"campaign axis {axis!r} must not be empty")
@@ -178,7 +195,29 @@ class CampaignSpec:
                     f"unknown congestion control {congestion_control!r}; "
                     f"choose from {sorted(MULTIPATH_ALGORITHMS)}"
                 )
-        registry = SINGLE_SCENARIOS if self.kind == "single" else COMPETITION_SCENARIOS
+        if self.kind != "workload" and (
+            tuple(self.load_scales) != (1.0,) or tuple(self.size_scales) != (1.0,)
+        ):
+            raise ConfigurationError(
+                "load_scales / size_scales are workload-kind axes"
+            )
+        if self.kind == "workload":
+            for axis, neutral in (
+                ("loss_rates", (0.0,)),
+                ("dynamics", ("none",)),
+                ("path_managers", ("default",)),
+            ):
+                if tuple(getattr(self, axis)) != neutral:
+                    raise ConfigurationError(
+                        f"workload campaigns sweep load/size scales; "
+                        f"axis {axis!r} must stay at its default"
+                    )
+        if self.kind == "single":
+            registry = SINGLE_SCENARIOS
+        elif self.kind == "multiflow":
+            registry = COMPETITION_SCENARIOS
+        else:
+            registry = WORKLOAD_SCENARIOS
         for scenario in self.scenarios:
             if scenario not in registry:
                 raise ConfigurationError(
@@ -216,6 +255,8 @@ class CampaignSpec:
             * len(list(self.loss_rates))
             * len(list(self.dynamics))
             * len(list(self.path_managers))
+            * len(list(self.load_scales))
+            * len(list(self.size_scales))
         )
 
     def expand(self) -> List[CampaignPoint]:
@@ -242,19 +283,23 @@ class CampaignSpec:
                         for loss_rate in self.loss_rates:
                             for dynamics_name in self.dynamics:
                                 for path_manager in self.path_managers:
-                                    points.append(
-                                        self._point(
-                                            scenario=scenario,
-                                            congestion_control=congestion_control,
-                                            rate_scale=float(rate_scale),
-                                            delay_scale=float(delay_scale),
-                                            loss_rate=float(loss_rate),
-                                            dynamics_name=dynamics_name,
-                                            path_manager=path_manager,
-                                            paths=paths,
-                                            system=system,
-                                        )
-                                    )
+                                    for load_scale in self.load_scales:
+                                        for size_scale in self.size_scales:
+                                            points.append(
+                                                self._point(
+                                                    scenario=scenario,
+                                                    congestion_control=congestion_control,
+                                                    rate_scale=float(rate_scale),
+                                                    delay_scale=float(delay_scale),
+                                                    loss_rate=float(loss_rate),
+                                                    dynamics_name=dynamics_name,
+                                                    path_manager=path_manager,
+                                                    load_scale=float(load_scale),
+                                                    size_scale=float(size_scale),
+                                                    paths=paths,
+                                                    system=system,
+                                                )
+                                            )
         return points
 
     # ------------------------------------------------------------------
@@ -263,6 +308,10 @@ class CampaignSpec:
     ) -> Tuple[Topology, PathSet, ConstraintSystem]:
         if self.kind == "single":
             topology, paths = _build_single_scenario(scenario, rate_scale, delay_scale)
+        elif self.kind == "workload":
+            config = WORKLOAD_SCENARIOS[scenario](duration=self.duration)
+            topology, paths = config.build_scenario()
+            topology.scale_links(rate=rate_scale, delay=delay_scale)
         else:
             config = _competition_config(
                 scenario, "lia", self.duration, self.sampling_interval
@@ -294,9 +343,38 @@ class CampaignSpec:
         loss_rate: float,
         dynamics_name: str,
         path_manager: str,
+        load_scale: float = 1.0,
+        size_scale: float = 1.0,
         paths: PathSet,
         system: ConstraintSystem,
     ) -> CampaignPoint:
+        if self.kind == "workload":
+            params = {
+                "kind": self.kind,
+                "scenario": scenario,
+                "congestion_control": congestion_control,
+                "rate_scale": rate_scale,
+                "delay_scale": delay_scale,
+                "duration": float(self.duration),
+                "load_scale": load_scale,
+                "size_scale": size_scale,
+            }
+            if self.backend != "packet":
+                params["backend"] = self.backend
+            workload_config = WORKLOAD_SCENARIOS[scenario](
+                duration=self.duration, backend=self.backend
+            )
+            topology, base_paths = workload_config.build_scenario()
+            topology.scale_links(rate=rate_scale, delay=delay_scale)
+            workload_config = workload_config.with_overrides(
+                name=f"{self.name}-{scenario}",
+                scenario=(topology, base_paths),
+                spec=workload_config.spec.scaled(load=load_scale, size=size_scale),
+                congestion_control=congestion_control,
+            )
+            return CampaignPoint(
+                key=point_key(params), params=params, config=workload_config
+            )
         params = {
             "kind": self.kind,
             "scenario": scenario,
@@ -412,6 +490,19 @@ def _execute_point(point: CampaignPoint) -> dict:
     """
     record: Dict[str, object] = {"key": point.key, "params": dict(point.params)}
     try:
+        if isinstance(point.config, WorkloadConfig):
+            workload_result = run_workload(point.config)
+            record["status"] = "ok"
+            record["summary"] = workload_result.summary()
+            if point.config.backend == "flowlevel":
+                # FCT agreement against the packet-level twin of the same plan.
+                from ..measure.validation import compare_workload_backends
+
+                twin = point.config.with_overrides(backend="packet")
+                record["cross_fidelity_fct"] = compare_workload_backends(
+                    workload_result, run_workload(twin)
+                ).as_dict()
+            return sanitize_metrics(record)  # type: ignore[return-value]
         if isinstance(point.config, MultiFlowConfig):
             result = run_multiflow(point.config)
             validation = validate_multiflow(result)
@@ -660,8 +751,36 @@ def multiflow_fairness_campaign(
     )
 
 
+def workload_fct_campaign(
+    *,
+    duration: float = 10.0,
+    load_scales: Sequence[float] = (0.5, 1.0, 2.0),
+    size_scales: Sequence[float] = (1.0,),
+    backend: str = "flowlevel",
+) -> CampaignSpec:
+    """Workload FCT grid: named workloads x offered-load and size multipliers.
+
+    How do flow-completion-time percentiles move as the arrival rate (and
+    optionally the transfer sizes) scale around each scenario's nominal
+    operating point?  Flow-level points record cross-fidelity FCT agreement
+    against their packet-level twin.
+    """
+    return CampaignSpec(
+        name="workload_fct",
+        kind="workload",
+        scenarios=("conferencing_load", "web_page_load"),
+        congestion_controls=("cubic",),
+        load_scales=tuple(load_scales),
+        size_scales=tuple(size_scales),
+        duration=duration,
+        backend=backend,
+        description="named workloads: FCT percentiles vs load and size scale",
+    )
+
+
 #: Named campaign grids exposed through the CLI (``campaign`` command).
 CAMPAIGN_GRIDS: Dict[str, Callable[..., CampaignSpec]] = {
     "paper_cc_rate": paper_cc_rate_campaign,
     "multiflow_fairness": multiflow_fairness_campaign,
+    "workload_fct": workload_fct_campaign,
 }

@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from ..core.connection import MptcpConnection
 from ..errors import ConfigurationError
 from ..measure.fairness import FairnessReport, analyze_fairness
+from ..measure.fct import FctReport
 from ..measure.flowstats import ConnectionStats, connection_stats
 from ..measure.sampling import TimeSeries, per_tag_timeseries, throughput_timeseries
 from ..model.bottleneck import build_constraints
@@ -34,13 +35,13 @@ from ..netsim.network import Network
 from ..netsim.topology import Topology
 from ..tcp.connection import TcpConnection
 from ..topologies.paper import paper_scenario
-from ..traffic.onoff import OnOffSource
-from ..traffic.udp import UdpConstantBitRate
 from ..units import DEFAULT_MSS
+from ..workload.sources import OnOffSource, UdpConstantBitRate
+from ..workload.spec import WorkloadSpec
 
 ScenarioBuilder = Callable[[], Tuple[Topology, PathSet]]
 
-FLOW_KINDS = ("mptcp", "tcp", "udp", "onoff")
+FLOW_KINDS = ("mptcp", "tcp", "udp", "onoff", "workload")
 
 #: Tag stride between flows: flow ``i`` installs its paths under tags
 #: ``i * TAG_STRIDE + original_tag``, so two flows pinning *different* paths
@@ -56,8 +57,10 @@ class FlowSpec:
     ----------
     kind:
         ``"mptcp"`` (a multipath connection), ``"tcp"`` (single-path TCP),
-        ``"udp"`` (constant-bit-rate cross-traffic) or ``"onoff"`` (bursty
-        cross-traffic).
+        ``"udp"`` (constant-bit-rate cross-traffic), ``"onoff"`` (bursty
+        cross-traffic) or ``"workload"`` (a whole session population
+        compiled from ``workload``; session arrival times come from the
+        workload spec, so ``start`` is ignored).
     name:
         Flow name used in results and fairness reports (auto-generated when
         empty).
@@ -97,12 +100,16 @@ class FlowSpec:
     on_duration: float = 0.5
     off_duration: float = 0.5
     packet_size: int = DEFAULT_MSS
+    #: The offered load of a ``kind="workload"`` flow.
+    workload: Optional[WorkloadSpec] = None
 
     def __post_init__(self) -> None:
         if self.kind not in FLOW_KINDS:
             raise ConfigurationError(
                 f"unknown flow kind {self.kind!r}; choose from {FLOW_KINDS}"
             )
+        if self.kind == "workload" and self.workload is None:
+            raise ConfigurationError("a workload flow needs a WorkloadSpec")
 
     def with_overrides(self, **kwargs) -> "FlowSpec":
         return replace(self, **kwargs)
@@ -167,6 +174,8 @@ class FlowResult:
     tag_map: Dict[int, int] = field(default_factory=dict)
     optimum_mbps: Optional[float] = None
     stats: Optional[ConnectionStats] = None
+    #: FCT report of a ``kind="workload"`` flow (None for the other kinds).
+    fct: Optional[FctReport] = None
 
     def summary(self) -> dict:
         return {
@@ -177,6 +186,7 @@ class FlowResult:
             "bytes_delivered": self.bytes_delivered,
             "retransmissions": self.retransmissions,
             "optimum_mbps": None if self.optimum_mbps is None else round(self.optimum_mbps, 3),
+            "fct": None if self.fct is None else self.fct.as_dict(),
         }
 
 
@@ -259,6 +269,8 @@ class _BuiltFlow:
         self.connection: Optional[MptcpConnection] = None
         self.tcp: Optional[TcpConnection] = None
         self.source = None  # udp / onoff
+        self.workload_driver = None  # PacketWorkloadDriver of a workload flow
+        self.workload_plan = None
         self.tag_map: Dict[int, int] = {}  # original tag -> namespaced tag
         self.optimum_mbps: Optional[float] = None
 
@@ -373,6 +385,35 @@ def _instantiate_flow(
         flow.connection.start(at=spec.start)
         return
 
+    if spec.kind == "workload":
+        from ..workload.packet import PacketWorkloadDriver
+
+        raw = _coerce_path_objects(spec.paths) if spec.paths is not None else list(base_paths)
+        paths = _retag_paths(raw, flow.tag_base)
+        flow.tag_map = {
+            (orig.tag if orig.tag is not None else i + 1): installed.tag
+            for i, (orig, installed) in enumerate(zip(raw, paths))
+        }
+        plan = spec.workload.compile(len(paths))
+        driver = PacketWorkloadDriver(
+            network,
+            plan,
+            paths,
+            src=src,
+            dst=dst,
+            transport="tcp",
+            congestion_control=spec.congestion_control,
+            mss=spec.mss,
+            flow_id=flow.flow_id,
+        )
+        driver.install()
+        flow.workload_driver = driver
+        flow.workload_plan = plan
+        flow.optimum_mbps = max_total_throughput(
+            build_constraints(network.topology, paths)
+        ).total
+        return
+
     path = _single_path_for(spec, base_paths)
     tag = flow.tag_base + (path.tag if path.tag is not None else 1)
     network.install_path(path.nodes, tag)
@@ -429,6 +470,7 @@ def _flow_result(
     mean: float,
 ) -> FlowResult:
     spec = flow.spec
+    fct = None
     if flow.connection is not None:
         delivered = flow.connection.bytes_delivered
         retransmissions = flow.connection.total_retransmissions()
@@ -437,6 +479,14 @@ def _flow_result(
         delivered = flow.tcp.bytes_acked
         retransmissions = flow.tcp.sender.stats.retransmissions
         stats = None
+    elif flow.workload_driver is not None:
+        records = flow.workload_driver.records
+        delivered = sum(record.size_bytes for record in records)
+        retransmissions = 0
+        stats = None
+        fct = FctReport.from_records(
+            records, offered=flow.workload_plan.total_transfers
+        )
     else:
         delivered = flow.source.sink.bytes_received
         retransmissions = 0
@@ -454,4 +504,5 @@ def _flow_result(
         tag_map=dict(flow.tag_map),
         optimum_mbps=flow.optimum_mbps,
         stats=stats,
+        fct=fct,
     )

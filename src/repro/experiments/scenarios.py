@@ -295,11 +295,76 @@ def cross_traffic_perturbation(
     )
 
 
+def workload_background(
+    *,
+    congestion_control: str = "lia",
+    n_paths: int = 2,
+    bottleneck_mbps: float = 50.0,
+    access_mbps: float = 100.0,
+    sessions: int = 10,
+    mean_request_bytes: int = 200_000,
+    requests_per_session: int = 5,
+    think_time_s: float = 0.3,
+    seed: int = 1,
+    duration: float = 4.0,
+    sampling_interval: float = 0.1,
+    warmup: float = 0.0,
+) -> MultiFlowConfig:
+    """A request/response workload competes with MPTCP on a shared bottleneck.
+
+    Instead of a synthetic CBR source, the cross-traffic here is a compiled
+    :class:`~repro.workload.spec.WorkloadSpec` population -- heavy-tailed
+    sized responses over warm TCP connections with think times -- so the
+    perturbation has the on/off texture of real application traffic and the
+    result carries an FCT report for the background sessions themselves.
+    """
+    from ..workload.spec import ArrivalProcess, RequestResponseSpec, SizeDistribution, WorkloadSpec
+
+    topology, paths = shared_bottleneck(n_paths + 1, bottleneck_mbps, access_mbps)
+    workload = WorkloadSpec(
+        name="background",
+        seed=seed,
+        sessions=sessions,
+        arrival=ArrivalProcess(
+            kind="poisson", rate_per_s=max(sessions / max(duration / 2.0, 1e-9), 1e-9)
+        ),
+        request=RequestResponseSpec(
+            requests_per_session=requests_per_session,
+            response_size=SizeDistribution(kind="pareto", mean_bytes=mean_request_bytes),
+            think_time_s=think_time_s,
+        ),
+    )
+    flows = [
+        FlowSpec(
+            kind="mptcp",
+            name="mptcp",
+            paths=list(paths)[:n_paths],
+            congestion_control=congestion_control,
+        ),
+        FlowSpec(
+            kind="workload",
+            name="background",
+            paths=[paths[n_paths]],
+            workload=workload,
+        ),
+    ]
+    return MultiFlowConfig(
+        name=f"workload-background-{congestion_control}",
+        scenario=(topology, paths),
+        flows=flows,
+        duration=duration,
+        sampling_interval=sampling_interval,
+        warmup=warmup,
+        bottleneck_link=("agg", "core"),
+    )
+
+
 #: Named competition scenarios exposed through the CLI (``fairness`` command).
 COMPETITION_SCENARIOS: Dict[str, Callable[..., MultiFlowConfig]] = {
     "mptcp_vs_tcp_shared_bottleneck": mptcp_vs_tcp_shared_bottleneck,
     "two_mptcp_competition": two_mptcp_competition,
     "cross_traffic_perturbation": cross_traffic_perturbation,
+    "workload_background": workload_background,
 }
 
 

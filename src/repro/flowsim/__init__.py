@@ -14,8 +14,8 @@ not billions of packets.
   flow descriptors and results;
 * :mod:`repro.flowsim.allocator` -- the instantaneous rate-sharing rules
   (``maxmin`` / ``proportional_fair`` / ``fluid``);
-* :mod:`repro.flowsim.workload` -- seeded synthetic workloads (heavy-tailed
-  sizes, Poisson arrivals) for many-flow scenarios;
+* :mod:`repro.flowsim.workload` -- shim re-exporting the seeded synthetic
+  populations that now live in :mod:`repro.workload.population`;
 * :mod:`repro.flowsim.backend` -- adapters running an unmodified
   :class:`~repro.experiments.harness.ExperimentConfig` /
   :class:`~repro.experiments.multiflow.MultiFlowConfig` at flow-level

@@ -36,6 +36,7 @@ from ..errors import ConfigurationError
 from ..measure.convergence import analyze_convergence
 from ..measure.dynamics import analyze_dynamics
 from ..measure.fairness import analyze_fairness
+from ..measure.fct import FctReport
 from ..measure.flowstats import ConnectionStats, SubflowStats
 from ..measure.sampling import TimeSeries
 from ..model.bottleneck import build_constraints
@@ -244,7 +245,10 @@ def _synthesize_stats(
 class _FlowPlan:
     """How one :class:`FlowSpec` maps onto engine flows."""
 
-    __slots__ = ("spec", "name", "flow_id", "engine_names", "tag_map", "optimum_mbps")
+    __slots__ = (
+        "spec", "name", "flow_id", "engine_names", "tag_map", "optimum_mbps",
+        "workload_run", "workload_plan",
+    )
 
     def __init__(self, spec: "FlowSpec", name: str, flow_id: int) -> None:
         self.spec = spec
@@ -253,6 +257,8 @@ class _FlowPlan:
         self.engine_names: List[str] = []
         self.tag_map: Dict[int, int] = {}
         self.optimum_mbps: Optional[float] = None
+        self.workload_run = None  # FlowLevelWorkloadRun of a workload flow
+        self.workload_plan = None
 
 
 def run_multiflow_flowlevel(config: "MultiFlowConfig") -> "MultiFlowResult":
@@ -282,7 +288,14 @@ def run_multiflow_flowlevel(config: "MultiFlowConfig") -> "MultiFlowResult":
     interval = config.sampling_interval
     measured: List[Tuple[_FlowPlan, TimeSeries, Dict[int, TimeSeries], int]] = []
     for plan in plans:
-        outcomes = [run.flows[engine_name] for engine_name in plan.engine_names]
+        if plan.workload_run is not None:
+            # Workload transfers are added mid-run from completion callbacks,
+            # so the engine names are only known afterwards.
+            prefix = plan.workload_run.prefix
+            engine_names = [name for name in run.flows if name.startswith(prefix)]
+        else:
+            engine_names = plan.engine_names
+        outcomes = [run.flows[engine_name] for engine_name in engine_names]
         segments_by_tag: Dict[int, list] = {}
         delivered = 0
         for outcome in outcomes:
@@ -324,6 +337,14 @@ def run_multiflow_flowlevel(config: "MultiFlowConfig") -> "MultiFlowResult":
             tag_map=dict(plan.tag_map),
             optimum_mbps=plan.optimum_mbps,
             stats=None,
+            fct=(
+                None
+                if plan.workload_run is None
+                else FctReport.from_records(
+                    plan.workload_run.records,
+                    offered=plan.workload_plan.total_transfers,
+                )
+            ),
         )
         for plan, series, per_path, delivered in measured
     ]
@@ -371,6 +392,31 @@ def _plan_flow(
             )
         )
         plan.engine_names = [plan.name]
+        plan.optimum_mbps = max_total_throughput(
+            build_constraints(topology, raw)
+        ).total
+        return
+
+    if spec.kind == "workload":
+        from ..workload.flowlevel import FlowLevelWorkloadRun
+
+        raw = (
+            _coerce_path_objects(spec.paths)
+            if spec.paths is not None
+            else list(base_paths)
+        )
+        tags = tuple(
+            path.tag if path.tag is not None else index + 1
+            for index, path in enumerate(raw)
+        )
+        plan.tag_map = {tag: tag_base + tag for tag in tags}
+        workload_plan = spec.workload.compile(len(raw))
+        workload_run = FlowLevelWorkloadRun(
+            sim, workload_plan, raw, prefix=f"{plan.name}/"
+        )
+        workload_run.install()
+        plan.workload_run = workload_run
+        plan.workload_plan = workload_plan
         plan.optimum_mbps = max_total_throughput(
             build_constraints(topology, raw)
         ).total

@@ -355,12 +355,25 @@ class FlowLevelSim:
         self.flows: Dict[str, _Flow] = {}
         self._active_count = 0
         self.max_concurrent = 0
+        self._running = False
+        #: flow name -> one-shot callback fired when that flow completes.
+        self._on_complete: Dict[str, object] = {}
 
     # ------------------------------------------------------------------ input
     def add_flow(self, descriptor: FlowDescriptor) -> None:
-        """Register one flow; its arrival is scheduled at ``descriptor.start``."""
+        """Register one flow; its arrival is scheduled at ``descriptor.start``.
+
+        May also be called *mid-run* from a dynamics or completion callback
+        (dependent transfers in a workload), as long as the flow does not
+        start in the past.
+        """
         if descriptor.name in self.flows:
             raise ConfigurationError(f"duplicate flow name {descriptor.name!r}")
+        if self._running and descriptor.start < self.now:
+            raise ConfigurationError(
+                f"flow {descriptor.name!r} cannot start at t={descriptor.start} "
+                f"(simulation is already at t={self.now})"
+            )
         flow = _Flow(descriptor)
         self.flows[descriptor.name] = flow
         self._push_event(descriptor.start, _ARRIVE, flow)
@@ -374,6 +387,19 @@ class FlowLevelSim:
     def schedule(self, time: float, action, *args) -> None:
         """Schedule a dynamics callback ``action(*args)`` at ``time``."""
         self._push_event(time, _DYNAMICS, (action, args))
+
+    def on_flow_complete(self, name: str, callback) -> None:
+        """Register a one-shot ``callback(completion)`` for flow ``name``.
+
+        Fired synchronously when the flow completes; the callback may add
+        new flows (:meth:`add_flow`) or schedule further work -- this is how
+        the workload layer realises dependency edges (a transfer that starts
+        only after its parent finishes).  Flows that never complete never
+        fire their callback.
+        """
+        if name not in self.flows:
+            raise ConfigurationError(f"unknown flow {name!r}")
+        self._on_complete[name] = callback
 
     # ------------------------------------------------------------- link state
     def _edge(self, a: str, b: str) -> int:
@@ -420,6 +446,7 @@ class FlowLevelSim:
         if duration <= 0:
             raise ConfigurationError("duration must be positive")
         heapq.heapify(self._events)
+        self._running = True
         while True:
             event_time = self._events[0][0] if self._events else _INF
             completion_time, source = self._next_completion()
@@ -440,6 +467,7 @@ class FlowLevelSim:
                     callback(*args)
             self.transitions += 1
             self._resolve()
+        self._running = False
         self._advance(duration)
         for flow in self.flows.values():
             if flow.active:
@@ -454,10 +482,16 @@ class FlowLevelSim:
 
     # ------------------------------------------------------------- internals
     def _push_event(self, time: float, action: int, payload: object) -> None:
-        # Plain append: all events are registered before run(), which
-        # heapifies once -- O(n) total instead of O(n log n) pushes.
+        # Before run(): plain append, heapified once -- O(n) total instead
+        # of O(n log n) pushes.  Mid-run (dependent workload transfers,
+        # dynamics callbacks scheduling more work) the heap invariant must
+        # be preserved, so those pushes pay the log.
         self._seq += 1
-        self._events.append((float(time), action, self._seq, payload))
+        entry = (float(time), action, self._seq, payload)
+        if self._running:
+            heapq.heappush(self._events, entry)
+        else:
+            self._events.append(entry)
 
     def _route_links(self, route: Tuple[str, ...]) -> Tuple[int, ...]:
         links = self._route_cache.get(route)
@@ -537,15 +571,19 @@ class FlowLevelSim:
             self._compound.remove(flow)
         self._leave(flow, completed=True)
         descriptor = flow.descriptor
-        self.completions.append(
-            FlowCompletion(
-                name=descriptor.name,
-                start=descriptor.start,
-                finish=self.now,
-                size_bytes=descriptor.size_bytes or 0,
-                kind=descriptor.kind,
-            )
+        completion = FlowCompletion(
+            name=descriptor.name,
+            start=descriptor.start,
+            finish=self.now,
+            size_bytes=descriptor.size_bytes or 0,
+            kind=descriptor.kind,
         )
+        self.completions.append(completion)
+        # Cheap falsy check first: runs without listeners pay one dict test.
+        if self._on_complete:
+            callback = self._on_complete.pop(descriptor.name, None)
+            if callback is not None:
+                callback(completion)
 
     def _advance(self, time: float) -> None:
         dt = time - self.now

@@ -40,6 +40,8 @@ from .sampling import TimeSeries
 if TYPE_CHECKING:  # pragma: no cover
     from ..experiments.harness import ExperimentResult
     from ..experiments.multiflow import MultiFlowResult
+    from ..workload.runner import WorkloadResult
+    from .fct import FctReport
 
 #: The reference allocations a measurement is held against, in report order.
 VALIDATION_MODELS = ("lp", "max_min", "proportional_fair", "fluid")
@@ -395,6 +397,103 @@ def compare_multiflow_backends(
         {flow.name: flow.mean_mbps for flow in packet.flows},
         scenario=packet.config.name,
         rank_tol=rank_tol,
+    )
+
+
+@dataclass
+class FctComparison:
+    """Flow-level-vs-packet-level agreement on a workload's FCT distribution.
+
+    Both backends executed the *identical* compiled plan (same sizes, same
+    arrivals, same dependency edges -- the signatures are checked), so any
+    disagreement is pure fidelity: slow-start transients, queueing and
+    retransmissions the fluid model abstracts away.  Packet level is the
+    ground truth; relative errors are taken against it.
+    """
+
+    scenario: str
+    offered: int
+    flowlevel_completed: int
+    packet_completed: int
+    #: min/max ratio of the two completed counts (1.0 = full agreement).
+    completion_agreement: Optional[float]
+    #: Per percentile: flow-level FCT, packet FCT and relative error.
+    percentiles: Dict[str, dict] = field(default_factory=dict)
+    mean_rel_error: Optional[float] = None
+    max_rel_error: Optional[float] = None
+
+    def as_dict(self) -> dict:
+        def _round(value: Optional[float]) -> Optional[float]:
+            return None if value is None else round(value, 6)
+
+        return {
+            "scenario": self.scenario,
+            "offered": self.offered,
+            "flowlevel_completed": self.flowlevel_completed,
+            "packet_completed": self.packet_completed,
+            "completion_agreement": _round(self.completion_agreement),
+            "percentiles": self.percentiles,
+            "mean_rel_error": _round(self.mean_rel_error),
+            "max_rel_error": _round(self.max_rel_error),
+        }
+
+
+def compare_fct_reports(
+    flowlevel: "FctReport",
+    packet: "FctReport",
+    *,
+    scenario: str = "",
+    offered: Optional[int] = None,
+) -> FctComparison:
+    """Compare the FCT percentile sets of two workload runs."""
+    keys = sorted(set(flowlevel.percentiles) & set(packet.percentiles))
+    percentiles: Dict[str, dict] = {}
+    errors: List[float] = []
+    for key in keys:
+        fluid = flowlevel.percentiles[key]
+        truth = packet.percentiles[key]
+        error = (
+            None
+            if fluid is None or truth is None
+            else relative_error(float(fluid), float(truth))
+        )
+        percentiles[key] = {
+            "flowlevel_s": None if fluid is None else round(float(fluid), 6),
+            "packet_s": None if truth is None else round(float(truth), 6),
+            "rel_error": None if error is None else round(error, 6),
+        }
+        if error is not None:
+            errors.append(error)
+    agreement = None
+    if flowlevel.completed > 0 and packet.completed > 0:
+        pair = sorted((flowlevel.completed, packet.completed))
+        agreement = pair[0] / pair[1]
+    return FctComparison(
+        scenario=scenario,
+        offered=packet.offered if offered is None else offered,
+        flowlevel_completed=flowlevel.completed,
+        packet_completed=packet.completed,
+        completion_agreement=agreement,
+        percentiles=percentiles,
+        mean_rel_error=sum(errors) / len(errors) if errors else None,
+        max_rel_error=max(errors) if errors else None,
+    )
+
+
+def compare_workload_backends(
+    flowlevel: "WorkloadResult", packet: "WorkloadResult"
+) -> FctComparison:
+    """FCT agreement of one workload run executed at both fidelities."""
+    if flowlevel.plan.signature() != packet.plan.signature():
+        raise ModelError(
+            "workload backend comparison needs the same compiled plan on "
+            "both backends (same spec, same seed)"
+        )
+    return compare_fct_reports(
+        flowlevel.fct,
+        packet.fct,
+        scenario=packet.config.name,
+        offered=packet.plan.total_transfers,
     )
 
 

@@ -9,6 +9,7 @@ pair between two hosts and exposes simple throughput statistics.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from typing import Optional, Tuple
 
 from ..errors import ConfigurationError
@@ -51,6 +52,64 @@ class BulkDataAdapter:
         self.last_ack_time = now
 
 
+class TransferQueueAdapter:
+    """Data provider running a *queue of sized transfers* over one sender.
+
+    The bytes-limited counterpart of :class:`BulkDataAdapter`: each enqueued
+    transfer is granted as a contiguous byte range of the connection stream,
+    and when the last byte of a transfer is cumulatively acknowledged its
+    completion callback fires -- at which point the same (warm) connection
+    can carry the next request.  This is what HTTP-style request/response
+    workloads need: sized responses, completion callbacks, connection reuse.
+
+    Transfers may be enqueued at any time; after an idle period the driver
+    must :meth:`~repro.tcp.sender.TcpSender.resume` the sender, which sits
+    quiescent once it has drained (no timers, no events).
+    """
+
+    __slots__ = ("offset", "acked_bytes", "last_ack_time", "_grant_end", "_boundaries")
+
+    def __init__(self) -> None:
+        self.offset = 0  # stream bytes granted to the sender
+        self.acked_bytes = 0  # stream bytes cumulatively acknowledged
+        self.last_ack_time = 0.0
+        self._grant_end = 0  # stream offset up to which grants are allowed
+        #: FIFO of (stream end offset, on_complete callback) per transfer.
+        self._boundaries: deque = deque()
+
+    # ------------------------------------------------------------------
+    def enqueue(self, size_bytes: int, on_complete=None) -> None:
+        """Append a sized transfer; ``on_complete(now)`` fires when it is acked."""
+        if size_bytes <= 0:
+            raise ConfigurationError("transfer size must be positive")
+        self._grant_end += size_bytes
+        self._boundaries.append((self._grant_end, on_complete))
+
+    @property
+    def pending_transfers(self) -> int:
+        """Transfers enqueued but not yet fully acknowledged."""
+        return len(self._boundaries)
+
+    # ------------------------------------------------------- DataProvider API
+    def request_data(self, sender: TcpSender, max_bytes: int) -> Optional[Tuple[int, int]]:
+        remaining = self._grant_end - self.offset
+        if remaining <= 0:
+            return None
+        grant = min(max_bytes, remaining)
+        dsn = self.offset
+        self.offset += grant
+        return dsn, grant
+
+    def on_data_acked(self, sender: TcpSender, dsn: int, length: int, now: float) -> None:
+        self.acked_bytes += length
+        self.last_ack_time = now
+        boundaries = self._boundaries
+        while boundaries and self.acked_bytes >= boundaries[0][0]:
+            _, callback = boundaries.popleft()
+            if callback is not None:
+                callback(now)
+
+
 class TcpConnection:
     """A single-path TCP connection between two hosts of a built network."""
 
@@ -65,15 +124,26 @@ class TcpConnection:
         mss: int = DEFAULT_MSS,
         total_bytes: Optional[int] = None,
         flow_id: Optional[int] = None,
+        subflow_id: int = 0,
+        data: Optional[object] = None,
     ) -> None:
+        """``data`` plugs in a custom provider (e.g. a
+        :class:`TransferQueueAdapter` for request/response workloads) instead
+        of the default greedy/bounded :class:`BulkDataAdapter`; ``subflow_id``
+        lets several connection incarnations share one ``flow_id`` without
+        colliding in the host dispatch table (connection reuse-after-idle).
+        """
         if src == dst:
             raise ConfigurationError("source and destination must differ")
+        if data is not None and total_bytes is not None:
+            raise ConfigurationError("total_bytes only applies to the default provider")
         self.network = network
         self.src = src
         self.dst = dst
         self.flow_id = flow_id if flow_id is not None else next(_flow_ids)
+        self.subflow_id = subflow_id
         self.mss = mss
-        self.data = BulkDataAdapter(total_bytes)
+        self.data = data if data is not None else BulkDataAdapter(total_bytes)
         self.cc = make_congestion_control(cc, mss=mss)
 
         src_host = network.host(src)
@@ -82,15 +152,15 @@ class TcpConnection:
             src_host,
             dst,
             self.flow_id,
-            subflow_id=0,
+            subflow_id=subflow_id,
             cc=self.cc,
             data_provider=self.data,
             tag=tag,
             mss=mss,
         )
-        self.receiver = TcpReceiver(dst_host, src, self.flow_id, subflow_id=0, tag=tag)
-        src_host.register_agent(self.flow_id, 0, self.sender)
-        dst_host.register_agent(self.flow_id, 0, self.receiver)
+        self.receiver = TcpReceiver(dst_host, src, self.flow_id, subflow_id=subflow_id, tag=tag)
+        src_host.register_agent(self.flow_id, subflow_id, self.sender)
+        dst_host.register_agent(self.flow_id, subflow_id, self.receiver)
         self._start_time: Optional[float] = None
 
     # ------------------------------------------------------------------
@@ -98,6 +168,18 @@ class TcpConnection:
         """Schedule the transfer to begin at absolute time ``at``."""
         self._start_time = at
         self.network.sim.schedule_at(at, self.sender.start)
+
+    def close(self) -> None:
+        """Tear the connection down and free its host dispatch slots.
+
+        Used by workload drivers that replace an idle connection with a
+        fresh incarnation (same ``flow_id``, new ``subflow_id``) after an
+        idle timeout.  Late packets addressed to the closed incarnation are
+        dropped by the hosts as unroutable.
+        """
+        self.sender.close()
+        self.network.host(self.src).unregister_agent(self.flow_id, self.subflow_id)
+        self.network.host(self.dst).unregister_agent(self.flow_id, self.subflow_id)
 
     @property
     def bytes_acked(self) -> int:

@@ -171,6 +171,7 @@ class TcpSender:
         "_started",
         "closed",
         "path_down",
+        "on_idle",
     )
 
     def __init__(
@@ -230,6 +231,13 @@ class TcpSender:
         #: the data provider refuses grants so no fresh (or re-injected)
         #: ranges are stranded on a dead path.
         self.path_down = False
+        #: Optional ``callback(sender)`` fired when the sender drains: the
+        #: data provider refused data *and* every transmitted byte has been
+        #: cumulatively acknowledged.  This is the sender-level completion
+        #: signal for bytes-limited transfers (the workload transfer driver
+        #: uses it to detect an idle, reusable connection).  May fire more
+        #: than once while idle; receivers must be idempotent.
+        self.on_idle = None
 
     # ------------------------------------------------------------------ API
     def start(self) -> None:
@@ -336,6 +344,10 @@ class TcpSender:
                 continue
             grant = request_data(self, mss)
             if grant is None:
+                # Off the greedy hot path (a refusing provider): with nothing
+                # left in flight either, the sender is fully drained.
+                if self.on_idle is not None and self.snd_nxt == self.snd_una:
+                    self.on_idle(self)
                 return
             dsn, length = grant
             if length <= 0 or length > mss:

@@ -1,8 +1,17 @@
-"""Traffic generation: iperf-like bulk transfers and UDP cross-traffic."""
+"""Traffic generation: iperf-like bulk transfers and UDP cross-traffic.
 
-from .iperf import IperfClient, IperfReport
-from .onoff import OnOffSource
-from .udp import UdpConstantBitRate, UdpSink
+Compatibility package: the implementations moved verbatim to
+:mod:`repro.workload.sources` (the backend-agnostic workload subsystem);
+this package keeps the historical import paths working.
+"""
+
+from ..workload.sources import (
+    IperfClient,
+    IperfReport,
+    OnOffSource,
+    UdpConstantBitRate,
+    UdpSink,
+)
 
 __all__ = [
     "IperfClient",

@@ -1,97 +1,7 @@
-"""iperf-like bulk traffic generation over (MP)TCP.
-
-The paper generates traffic with iperf: a greedy bulk transfer whose rate is
-entirely decided by the congestion controller.  :class:`IperfClient` wraps an
-:class:`~repro.core.connection.MptcpConnection` (or a single-path
-:class:`~repro.tcp.connection.TcpConnection`) and produces an
-:class:`IperfReport` with interval throughput -- the same numbers ``iperf -i``
-prints -- from the receiver-side capture.
-"""
+"""Compatibility shim: :class:`IperfClient` now lives in :mod:`repro.workload.sources`."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Union
+from ..workload.sources import Connection, IperfClient, IperfReport
 
-from ..core.connection import MptcpConnection
-from ..measure.sampling import TimeSeries, throughput_timeseries
-from ..netsim.capture import PacketCapture
-from ..tcp.connection import TcpConnection
-
-Connection = Union[MptcpConnection, TcpConnection]
-
-
-@dataclass
-class IperfReport:
-    """Summary of one bulk transfer (what ``iperf`` prints at the end)."""
-
-    duration: float
-    bytes_transferred: int
-    mean_throughput_mbps: float
-    interval_series: TimeSeries = field(default_factory=TimeSeries)
-    retransmissions: int = 0
-
-    def as_dict(self) -> dict:
-        return {
-            "duration_s": round(self.duration, 3),
-            "bytes_transferred": self.bytes_transferred,
-            "mean_throughput_mbps": round(self.mean_throughput_mbps, 3),
-            "retransmissions": self.retransmissions,
-            "intervals": [
-                {"time_s": round(t, 3), "mbps": round(v, 3)} for t, v in self.interval_series
-            ],
-        }
-
-
-class IperfClient:
-    """Drives a greedy bulk transfer over an existing connection object."""
-
-    def __init__(
-        self,
-        connection: Connection,
-        *,
-        capture: Optional[PacketCapture] = None,
-        report_interval: float = 1.0,
-    ) -> None:
-        self.connection = connection
-        self.capture = capture
-        self.report_interval = report_interval
-        self._started_at: Optional[float] = None
-
-    # ------------------------------------------------------------------
-    def start(self, at: float = 0.0) -> None:
-        self._started_at = at
-        self.connection.start(at)
-
-    def report(self, duration: Optional[float] = None) -> IperfReport:
-        """Build the final report after the simulation has run."""
-        network = self.connection.network
-        start = self._started_at or 0.0
-        if duration is None:
-            duration = max(network.sim.now - start, 1e-9)
-
-        if isinstance(self.connection, MptcpConnection):
-            transferred = self.connection.bytes_delivered
-            throughput = self.connection.total_throughput_mbps(duration)
-            retransmissions = self.connection.total_retransmissions()
-        else:
-            transferred = self.connection.bytes_acked
-            throughput = self.connection.throughput_mbps(duration)
-            retransmissions = self.connection.sender.stats.retransmissions
-
-        series = TimeSeries()
-        if self.capture is not None:
-            series = throughput_timeseries(
-                self.capture.filter(data_only=True),
-                interval=self.report_interval,
-                start=start,
-                end=start + duration,
-                label="iperf",
-            )
-        return IperfReport(
-            duration=duration,
-            bytes_transferred=transferred,
-            mean_throughput_mbps=throughput,
-            interval_series=series,
-            retransmissions=retransmissions,
-        )
+__all__ = ["Connection", "IperfClient", "IperfReport"]

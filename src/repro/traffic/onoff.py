@@ -1,70 +1,7 @@
-"""On-off (bursty) traffic built on the constant-bit-rate UDP source.
-
-An :class:`OnOffSource` alternates deterministic ON periods (sending at a
-configured rate) and OFF periods (silent).  It is used by the extension
-benchmarks to study how bursty cross-traffic on a shared bottleneck perturbs
-MPTCP's search for the optimal rate split.
-"""
+"""Compatibility shim: :class:`OnOffSource` now lives in :mod:`repro.workload.sources`."""
 
 from __future__ import annotations
 
-from typing import Optional
+from ..workload.sources import OnOffSource
 
-from ..errors import ConfigurationError
-from ..netsim.network import Network
-from .udp import UdpConstantBitRate
-
-
-class OnOffSource:
-    """Deterministic on-off UDP traffic."""
-
-    def __init__(
-        self,
-        network: Network,
-        src: str,
-        dst: str,
-        rate_mbps: float,
-        *,
-        on_duration: float = 0.5,
-        off_duration: float = 0.5,
-        tag: Optional[int] = None,
-        packet_size: int = 1400,
-        flow_id: Optional[int] = None,
-    ) -> None:
-        if on_duration <= 0 or off_duration < 0:
-            raise ConfigurationError("on_duration must be positive and off_duration non-negative")
-        self.network = network
-        self.on_duration = on_duration
-        self.off_duration = off_duration
-        self._cbr = UdpConstantBitRate(
-            network, src, dst, rate_mbps, tag=tag, packet_size=packet_size, flow_id=flow_id
-        )
-        self._stop_at: Optional[float] = None
-
-    # ------------------------------------------------------------------
-    @property
-    def sink(self):
-        return self._cbr.sink
-
-    @property
-    def flow_id(self) -> int:
-        return self._cbr.flow_id
-
-    @property
-    def packets_sent(self) -> int:
-        return self._cbr.packets_sent
-
-    def start(self, at: float = 0.0, stop_at: Optional[float] = None) -> None:
-        """Begin the on-off pattern at ``at``; stop entirely at ``stop_at``."""
-        self._stop_at = stop_at
-        self.network.sim.schedule_at(at, self._begin_on_period)
-
-    def _begin_on_period(self) -> None:
-        now = self.network.sim.now
-        if self._stop_at is not None and now >= self._stop_at:
-            return
-        burst_end = now + self.on_duration
-        if self._stop_at is not None:
-            burst_end = min(burst_end, self._stop_at)
-        self._cbr.start(at=now, stop_at=burst_end)
-        self.network.sim.schedule(self.on_duration + self.off_duration, self._begin_on_period)
+__all__ = ["OnOffSource"]

@@ -1,117 +1,7 @@
-"""Unreliable constant-rate traffic agents (cross-traffic substrate).
-
-The paper's experiments only run MPTCP/iperf, but studying how the results
-change under background load requires a simple unreliable sender: a
-constant-bit-rate source that pushes packets at a fixed rate regardless of
-loss, plus a sink that counts what arrives.
-"""
+"""Compatibility shim: the UDP sources now live in :mod:`repro.workload.sources`."""
 
 from __future__ import annotations
 
-import itertools
-from typing import Optional
+from ..workload.sources import UdpConstantBitRate, UdpSink, _udp_flow_ids
 
-from ..errors import ConfigurationError
-from ..netsim.network import Network
-from ..netsim.packet import Packet, acquire as _acquire_packet
-from ..units import DEFAULT_MSS, HEADER_SIZE, mbps, throughput_mbps
-
-_udp_flow_ids = itertools.count(50000)
-
-
-class UdpSink:
-    """Counts the datagrams delivered to it."""
-
-    def __init__(self) -> None:
-        self.packets_received = 0
-        self.bytes_received = 0
-        self.first_arrival: Optional[float] = None
-        self.last_arrival: Optional[float] = None
-
-    def handle_packet(self, packet: Packet) -> None:
-        self.packets_received += 1
-        self.bytes_received += packet.payload_len
-        if self.first_arrival is None:
-            self.first_arrival = packet.created_at
-        self.last_arrival = packet.created_at
-        packet.release()
-
-    def throughput_mbps(self) -> float:
-        if self.first_arrival is None or self.last_arrival is None:
-            return 0.0
-        duration = max(self.last_arrival - self.first_arrival, 1e-9)
-        return throughput_mbps(self.bytes_received, duration)
-
-
-class UdpConstantBitRate:
-    """A CBR source sending ``rate_mbps`` towards a destination host.
-
-    Packets are paced at a fixed inter-departure time; losses are ignored
-    (there is no feedback), which is exactly the non-responsive cross-traffic
-    used to stress congestion-control experiments.
-    """
-
-    def __init__(
-        self,
-        network: Network,
-        src: str,
-        dst: str,
-        rate_mbps: float,
-        *,
-        tag: Optional[int] = None,
-        packet_size: int = DEFAULT_MSS,
-        flow_id: Optional[int] = None,
-    ) -> None:
-        if rate_mbps <= 0:
-            raise ConfigurationError("UDP rate must be positive")
-        self.network = network
-        self.src_host = network.host(src)
-        self.dst = dst
-        self.rate_bps = mbps(rate_mbps)
-        self.tag = tag
-        self.packet_size = packet_size
-        self.flow_id = flow_id if flow_id is not None else next(_udp_flow_ids)
-        self.sink = UdpSink()
-        network.host(dst).register_agent(self.flow_id, 0, self.sink)
-        self.packets_sent = 0
-        self._stop_at: Optional[float] = None
-        self._interval = (packet_size + HEADER_SIZE) * 8.0 / self.rate_bps
-
-    # ------------------------------------------------------------------
-    def start(self, at: float = 0.0, stop_at: Optional[float] = None) -> None:
-        """Begin sending at time ``at``; optionally stop at ``stop_at``."""
-        self._stop_at = stop_at
-        self.network.sim.schedule_at(at, self._send_next)
-
-    def _send_next(self) -> None:
-        now = self.network.sim.now
-        if self._stop_at is not None and now >= self._stop_at:
-            return
-        packet = _acquire_packet(
-            self.src_host.name,
-            self.dst,
-            self.packet_size + HEADER_SIZE,
-            self.tag,
-            self.flow_id,
-            0,  # subflow_id
-            "udp",
-            self.packets_sent,
-            self.packet_size,
-            False,  # is_ack
-            0,  # ack
-            0,  # dsn
-            0,  # dack
-            False,  # is_retransmission
-            (),  # sack_blocks
-            -1.0,  # ts_echo
-            now,
-        )
-        self.packets_sent += 1
-        self.src_host.send(packet)
-        self.network.sim.schedule(self._interval, self._send_next)
-
-    @property
-    def delivery_ratio(self) -> float:
-        if self.packets_sent == 0:
-            return 0.0
-        return self.sink.packets_received / self.packets_sent
+__all__ = ["UdpConstantBitRate", "UdpSink", "_udp_flow_ids"]

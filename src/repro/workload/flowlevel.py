@@ -1,0 +1,100 @@
+"""Lower a compiled :class:`~repro.workload.spec.WorkloadPlan` to the flow-level engine.
+
+Each transfer becomes one sized :class:`~repro.flowsim.engine.FlowDescriptor`
+on the session's path.  Transfers that depend on the session start are added
+up front; dependent transfers are added *mid-run* from the parent's
+completion callback (``think delay`` after the parent finishes) -- the
+dependency edges of the plan realised through
+:meth:`~repro.flowsim.engine.FlowLevelSim.on_flow_complete`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..flowsim.engine import FlowCompletion, FlowDescriptor, FlowLevelSim
+from ..measure.fct import FctRecord
+from ..model.paths import Path
+from .spec import SessionPlan, TransferPlan, WorkloadPlan
+
+
+class FlowLevelWorkloadRun:
+    """Installs a plan on a :class:`FlowLevelSim` and collects FCT records.
+
+    Usage::
+
+        run = FlowLevelWorkloadRun(sim, plan, paths)
+        run.install()
+        sim.run(duration)
+        run.records  # FctRecord per completed transfer
+    """
+
+    def __init__(
+        self,
+        sim: FlowLevelSim,
+        plan: WorkloadPlan,
+        paths: Sequence[Path],
+        *,
+        prefix: str = "",
+    ) -> None:
+        self.sim = sim
+        self.plan = plan
+        self.prefix = prefix
+        self.records: List[FctRecord] = []
+        self._routes: List[Tuple[Tuple[str, ...], ...]] = [
+            (tuple(path.nodes),) for path in paths
+        ]
+        self._tags: List[Tuple[int, ...]] = [
+            (path.tag if path.tag is not None else index + 1,)
+            for index, path in enumerate(paths)
+        ]
+        #: (session index, parent transfer index) -> dependent transfers.
+        self._children: Dict[Tuple[int, int], List[TransferPlan]] = {}
+
+    # ------------------------------------------------------------------
+    def flow_name(self, session: SessionPlan, transfer: TransferPlan) -> str:
+        return f"{self.prefix}{session.name}/t{transfer.index}"
+
+    def install(self) -> None:
+        """Add every session's root transfers and index the dependency edges."""
+        for session in self.plan.sessions:
+            for transfer in session.transfers:
+                if transfer.after >= 0:
+                    key = (session.index, transfer.after)
+                    self._children.setdefault(key, []).append(transfer)
+            for transfer in session.transfers:
+                if transfer.after < 0:
+                    self._add_transfer(session, transfer, session.start + transfer.delay)
+
+    def _add_transfer(self, session: SessionPlan, transfer: TransferPlan, start: float) -> None:
+        name = self.flow_name(session, transfer)
+        self.sim.add_flow(
+            FlowDescriptor(
+                name=name,
+                routes=self._routes[session.path_index],
+                start=start,
+                size_bytes=transfer.size_bytes,
+                tags=self._tags[session.path_index],
+                kind="workload",
+            )
+        )
+        self.sim.on_flow_complete(
+            name,
+            lambda completion, _s=session, _t=transfer: self._completed(_s, _t, completion),
+        )
+
+    def _completed(
+        self, session: SessionPlan, transfer: TransferPlan, completion: FlowCompletion
+    ) -> None:
+        self.records.append(
+            FctRecord(
+                name=completion.name,
+                size_bytes=transfer.size_bytes,
+                start=completion.start,
+                finish=completion.finish,
+                session=session.name,
+                page=transfer.page,
+            )
+        )
+        for child in self._children.get((session.index, transfer.index), ()):
+            self._add_transfer(session, child, completion.finish + child.delay)

@@ -1,0 +1,98 @@
+"""Named, paper-adjacent workload scenarios.
+
+Two application profiles from the paper's motivating use cases (Section 1's
+"Tetris-like" interactive sessions and ordinary web browsing), pre-wired to
+a shared-bottleneck topology so ``repro.cli workload <name>`` runs them
+directly.  Both return a plain :class:`~repro.workload.runner.WorkloadConfig`
+-- callers can override the backend, seed or scale with
+:meth:`~repro.workload.runner.WorkloadConfig.with_overrides`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..topologies.generators import shared_bottleneck
+from .runner import WorkloadConfig
+from .spec import ArrivalProcess, RequestResponseSpec, SizeDistribution, WorkloadSpec
+
+
+def conferencing_load(
+    *,
+    sessions: int = 200,
+    duration: float = 60.0,
+    seed: int = 1,
+    backend: str = "flowlevel",
+) -> WorkloadConfig:
+    """Interactive conferencing/gaming load: many small latency-bound messages.
+
+    Each session is one participant exchanging ~20 small state updates
+    (lognormal around 24 kB) separated by ~200 ms of think time over a warm
+    connection -- the paper's Tetris-style interactive application, scaled
+    to a population.  FCT percentiles here are the user-visible input lag.
+    """
+    spec = WorkloadSpec(
+        name="conferencing",
+        seed=seed,
+        sessions=sessions,
+        arrival=ArrivalProcess(kind="poisson", rate_per_s=sessions / max(duration / 2.0, 1.0)),
+        request=RequestResponseSpec(
+            requests_per_session=20,
+            response_size=SizeDistribution(kind="lognormal", mean_bytes=24_000, sigma=0.8),
+            think_time_s=0.2,
+            reuse_connection=True,
+        ),
+    )
+    return WorkloadConfig(
+        name="conferencing_load",
+        scenario=shared_bottleneck(2, 50.0, 100.0),
+        spec=spec,
+        duration=duration,
+        backend=backend,
+    )
+
+
+def web_page_load(
+    *,
+    sessions: int = 50,
+    duration: float = 30.0,
+    seed: int = 1,
+    backend: str = "flowlevel",
+) -> WorkloadConfig:
+    """Web browsing load: heavy-tailed pages with parallel subresources.
+
+    Each session loads three pages; a page is one Pareto-sized main response
+    (mean 600 kB, alpha 1.5 -- mice and elephants) plus eight ~40 kB
+    subresources fetched once the main response lands.  One second of think
+    time separates pages and a 500 ms server idle timeout forces a cold
+    reconnect for most of them, so page-load times include fresh slow starts
+    at packet fidelity.
+    """
+    spec = WorkloadSpec(
+        name="web",
+        seed=seed,
+        sessions=sessions,
+        arrival=ArrivalProcess(kind="lognormal", rate_per_s=sessions / max(duration / 2.0, 1.0)),
+        request=RequestResponseSpec(
+            requests_per_session=3,
+            response_size=SizeDistribution(kind="pareto", mean_bytes=600_000, alpha=1.5),
+            think_time_s=1.0,
+            subresources=8,
+            subresource_size=SizeDistribution(kind="lognormal", mean_bytes=40_000, sigma=1.0),
+            idle_timeout_s=0.5,
+            reuse_connection=True,
+        ),
+    )
+    return WorkloadConfig(
+        name="web_page_load",
+        scenario=shared_bottleneck(2, 50.0, 100.0),
+        spec=spec,
+        duration=duration,
+        backend=backend,
+    )
+
+
+WORKLOAD_SCENARIOS: Dict[str, Callable[..., WorkloadConfig]] = {
+    "conferencing_load": conferencing_load,
+    "web_page_load": web_page_load,
+}

@@ -1,0 +1,348 @@
+"""Backend-agnostic workload specifications.
+
+A :class:`WorkloadSpec` describes a *population* of users as a seeded,
+deterministic generator: heavy-tailed transfer sizes, open-loop arrivals
+(Poisson or lognormal inter-arrival times) and HTTP-like request/response
+sessions with think times, idle timeouts and connection reuse.
+
+The spec itself knows nothing about simulation backends.  :meth:`WorkloadSpec.compile`
+expands it -- with a single :class:`random.Random` stream in a fixed draw
+order -- into a :class:`WorkloadPlan`: plain data (sessions of sized
+transfers with explicit dependency edges) that both fidelities lower from:
+
+* the packet backend drives each session's transfers over a real TCP/MPTCP
+  connection (:mod:`repro.workload.packet`);
+* the flow-level backend lowers each transfer to a
+  :class:`~repro.flowsim.engine.FlowDescriptor`, adding dependent transfers
+  when their parent completes (:mod:`repro.workload.flowlevel`).
+
+Because both backends consume the *same* compiled plan, the flow population
+(sizes, arrival times, dependency structure) is identical across backends by
+construction -- :meth:`WorkloadPlan.signature` pins that in tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+SIZE_KINDS = ("pareto", "lognormal", "fixed")
+ARRIVAL_KINDS = ("poisson", "lognormal")
+
+
+@dataclass(frozen=True)
+class SizeDistribution:
+    """A transfer-size distribution with a configurable mean.
+
+    ``pareto`` is the heavy-tailed default (most transfers are mice, most
+    bytes live in elephants); ``lognormal`` gives a milder tail; ``fixed``
+    always returns ``mean_bytes``.  The scale parameters are solved so the
+    requested mean holds exactly.
+    """
+
+    kind: str = "pareto"
+    mean_bytes: float = 2_000_000.0
+    #: Pareto tail index; must exceed 1 for the mean to exist.
+    alpha: float = 1.5
+    #: Lognormal shape (sigma of the underlying normal).
+    sigma: float = 1.0
+    min_bytes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in SIZE_KINDS:
+            raise ConfigurationError(
+                f"unknown size distribution {self.kind!r}; choose from {SIZE_KINDS}"
+            )
+        if self.mean_bytes <= 0:
+            raise ConfigurationError("mean transfer size must be positive")
+        if self.kind == "pareto" and self.alpha <= 1.0:
+            raise ConfigurationError("pareto alpha must exceed 1 for a finite mean")
+        if self.kind == "lognormal" and self.sigma <= 0:
+            raise ConfigurationError("lognormal sigma must be positive")
+        if self.min_bytes < 1:
+            raise ConfigurationError("min_bytes must be at least 1")
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one transfer size in bytes (always >= ``min_bytes``)."""
+        if self.kind == "fixed":
+            return max(self.min_bytes, int(self.mean_bytes))
+        if self.kind == "pareto":
+            scale = self.mean_bytes * (self.alpha - 1.0) / self.alpha
+            return max(self.min_bytes, int(scale * rng.paretovariate(self.alpha)))
+        # lognormal: mean = exp(mu + sigma^2 / 2)  =>  solve mu for the mean.
+        import math
+
+        mu = math.log(self.mean_bytes) - 0.5 * self.sigma * self.sigma
+        return max(self.min_bytes, int(rng.lognormvariate(mu, self.sigma)))
+
+
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """Open-loop session inter-arrival process (mean gap ``1 / rate_per_s``)."""
+
+    kind: str = "poisson"
+    rate_per_s: float = 100.0
+    #: Lognormal shape (ignored for poisson).
+    sigma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise ConfigurationError(
+                f"unknown arrival process {self.kind!r}; choose from {ARRIVAL_KINDS}"
+            )
+        if self.rate_per_s <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        if self.kind == "lognormal" and self.sigma <= 0:
+            raise ConfigurationError("lognormal sigma must be positive")
+
+    def next_gap(self, rng: random.Random) -> float:
+        """Draw the gap to the next session arrival, in seconds."""
+        if self.kind == "poisson":
+            return rng.expovariate(self.rate_per_s)
+        import math
+
+        mu = math.log(1.0 / self.rate_per_s) - 0.5 * self.sigma * self.sigma
+        return rng.lognormvariate(mu, self.sigma)
+
+
+@dataclass(frozen=True)
+class RequestResponseSpec:
+    """One user session: a sequence of request/response pages.
+
+    Each page is one main response transfer, optionally followed by
+    ``subresources`` parallel transfers that start when the main response
+    completes (the page-load pattern).  Consecutive pages are separated by
+    an exponential think time; a think gap exceeding ``idle_timeout_s``
+    closes the (reused) connection, so the next request pays a fresh start.
+    """
+
+    requests_per_session: int = 1
+    response_size: SizeDistribution = field(default_factory=SizeDistribution)
+    #: Mean of the exponential think time between consecutive pages.
+    think_time_s: float = 0.0
+    #: Parallel transfers fetched after each page's main response.
+    subresources: int = 0
+    subresource_size: Optional[SizeDistribution] = None
+    #: A think gap longer than this closes the idle connection.
+    idle_timeout_s: Optional[float] = None
+    #: Reuse one connection for all requests of a session (packet backend);
+    #: when False every page opens a fresh connection.
+    reuse_connection: bool = True
+
+    def __post_init__(self) -> None:
+        if self.requests_per_session < 1:
+            raise ConfigurationError("a session needs at least one request")
+        if self.think_time_s < 0:
+            raise ConfigurationError("think time must be non-negative")
+        if self.subresources < 0:
+            raise ConfigurationError("subresources must be non-negative")
+        if self.subresources and self.subresource_size is None:
+            raise ConfigurationError("subresources need a subresource_size distribution")
+        if self.idle_timeout_s is not None and self.idle_timeout_s <= 0:
+            raise ConfigurationError("idle timeout must be positive")
+
+
+# ------------------------------------------------------------------- the plan
+@dataclass(frozen=True)
+class TransferPlan:
+    """One sized transfer inside a session.
+
+    ``after`` is the index of the transfer this one depends on (``-1`` means
+    the session start); the transfer begins ``delay`` seconds after its
+    dependency completes (think time, 0 for subresources).
+    """
+
+    index: int
+    size_bytes: int
+    after: int = -1
+    delay: float = 0.0
+    #: Page (request) number inside the session, for page-load-time grouping.
+    page: int = 0
+    #: The think gap exceeded the idle timeout (or reuse is off): the packet
+    #: backend opens a fresh connection for this transfer.
+    new_connection: bool = False
+
+
+@dataclass(frozen=True)
+class SessionPlan:
+    """One user session: an arrival time, a path choice and its transfers."""
+
+    name: str
+    index: int
+    start: float
+    path_index: int
+    transfers: Tuple[TransferPlan, ...]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(t.size_bytes for t in self.transfers)
+
+
+@dataclass(frozen=True)
+class WorkloadPlan:
+    """The fully expanded, backend-agnostic flow population."""
+
+    name: str
+    seed: int
+    sessions: Tuple[SessionPlan, ...]
+
+    @property
+    def total_transfers(self) -> int:
+        return sum(len(s.transfers) for s in self.sessions)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.total_bytes for s in self.sessions)
+
+    def signature(self) -> str:
+        """Content hash of the population structure.
+
+        Covers every session's arrival time and path choice and every
+        transfer's size, dependency edge and delay -- two plans with equal
+        signatures describe identical populations.  The determinism tests
+        compare this across runs and across backends.
+        """
+        digest = hashlib.sha256()
+        for session in self.sessions:
+            digest.update(
+                f"{session.name}|{session.start!r}|{session.path_index}\n".encode()
+            )
+            for t in session.transfers:
+                digest.update(
+                    f"  {t.index}|{t.size_bytes}|{t.after}|{t.delay!r}|"
+                    f"{t.page}|{t.new_connection}\n".encode()
+                )
+        return digest.hexdigest()
+
+
+# ------------------------------------------------------------------- the spec
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A seeded population of user sessions (see module docstring)."""
+
+    name: str = "workload"
+    seed: int = 1
+    sessions: int = 100
+    arrival: ArrivalProcess = field(default_factory=ArrivalProcess)
+    request: RequestResponseSpec = field(default_factory=RequestResponseSpec)
+    #: Per-path weights for the session path choice (uniform when None).
+    path_weights: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1:
+            raise ConfigurationError("a workload needs at least one session")
+
+    def with_overrides(self, **kwargs) -> "WorkloadSpec":
+        return replace(self, **kwargs)
+
+    def scaled(self, *, load: float = 1.0, size: float = 1.0) -> "WorkloadSpec":
+        """A copy with the arrival rate and/or mean sizes scaled.
+
+        ``load`` multiplies the session arrival rate, ``size`` the mean of
+        every size distribution -- the two campaign sweep axes.
+        """
+        if load <= 0 or size <= 0:
+            raise ConfigurationError("load/size scale factors must be positive")
+        spec = self
+        if load != 1.0:
+            spec = replace(
+                spec,
+                arrival=replace(spec.arrival, rate_per_s=spec.arrival.rate_per_s * load),
+            )
+        if size != 1.0:
+            request = replace(
+                spec.request,
+                response_size=replace(
+                    spec.request.response_size,
+                    mean_bytes=spec.request.response_size.mean_bytes * size,
+                ),
+            )
+            if request.subresource_size is not None:
+                request = replace(
+                    request,
+                    subresource_size=replace(
+                        request.subresource_size,
+                        mean_bytes=request.subresource_size.mean_bytes * size,
+                    ),
+                )
+            spec = replace(spec, request=request)
+        return spec
+
+    # ------------------------------------------------------------------
+    def compile(self, n_paths: int) -> WorkloadPlan:
+        """Expand the spec into a deterministic :class:`WorkloadPlan`.
+
+        One :class:`random.Random` stream seeded with ``self.seed`` drives
+        every draw in a fixed order (arrival gap, path choice, then per page:
+        think time, response size, subresource sizes), so the same
+        ``(spec, n_paths)`` always yields the same population.
+        """
+        if n_paths < 1:
+            raise ConfigurationError("workload needs at least one path")
+        if self.path_weights is not None and len(self.path_weights) != n_paths:
+            raise ConfigurationError(
+                f"got {len(self.path_weights)} path weights for {n_paths} paths"
+            )
+        request = self.request
+        rng = random.Random(self.seed)
+        weights = list(self.path_weights) if self.path_weights is not None else None
+        path_indices = range(n_paths)
+
+        plans: List[SessionPlan] = []
+        clock = 0.0
+        for session_index in range(self.sessions):
+            clock += self.arrival.next_gap(rng)
+            if weights is None:
+                path_index = rng.randrange(n_paths)
+            else:
+                path_index = rng.choices(path_indices, weights=weights)[0]
+            transfers: List[TransferPlan] = []
+            previous_main = -1
+            for page in range(request.requests_per_session):
+                if page == 0 or request.think_time_s <= 0:
+                    think = 0.0
+                else:
+                    think = rng.expovariate(1.0 / request.think_time_s)
+                fresh = page > 0 and (
+                    not request.reuse_connection
+                    or (
+                        request.idle_timeout_s is not None
+                        and think > request.idle_timeout_s
+                    )
+                )
+                main_index = len(transfers)
+                transfers.append(
+                    TransferPlan(
+                        index=main_index,
+                        size_bytes=request.response_size.sample(rng),
+                        after=previous_main,
+                        delay=think,
+                        page=page,
+                        new_connection=fresh,
+                    )
+                )
+                for _ in range(request.subresources):
+                    transfers.append(
+                        TransferPlan(
+                            index=len(transfers),
+                            size_bytes=request.subresource_size.sample(rng),
+                            after=main_index,
+                            delay=0.0,
+                            page=page,
+                        )
+                    )
+                previous_main = main_index
+            plans.append(
+                SessionPlan(
+                    name=f"{self.name}-{session_index:05d}",
+                    index=session_index,
+                    start=clock,
+                    path_index=path_index,
+                    transfers=tuple(transfers),
+                )
+            )
+        return WorkloadPlan(name=self.name, seed=self.seed, sessions=tuple(plans))

@@ -22,13 +22,19 @@ import json
 import pathlib
 from typing import Dict
 
+from repro.core.connection import MptcpConnection
 from repro.experiments.harness import paper_experiment, run_experiment
-from repro.experiments.multiflow import run_multiflow
+from repro.experiments.multiflow import FlowSpec, MultiFlowConfig, run_multiflow
 from repro.experiments.scenarios import (
+    cross_traffic_perturbation,
     mptcp_vs_tcp_shared_bottleneck,
     two_mptcp_competition,
 )
 from repro.netsim.dynamics import DynamicsSpec
+from repro.netsim.network import Network
+from repro.topologies.generators import shared_bottleneck
+from repro.topologies.paper import paper_scenario
+from repro.traffic.iperf import IperfClient
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_pipeline.json"
 
@@ -86,6 +92,57 @@ def multi_flow_case(config) -> dict:
     }
 
 
+def iperf_case() -> dict:
+    """A greedy IperfClient bulk transfer on the paper topology.
+
+    Pins the iperf wrapper's observable output (interval throughput series
+    plus the headline report counters) so the traffic-layer refactor can be
+    proven byte-identical.
+    """
+    topology, paths = paper_scenario()
+    network = Network(topology)
+    capture = network.attach_capture("d", data_only=True)
+    connection = MptcpConnection(network, "s", "d", paths, congestion_control="cubic")
+    client = IperfClient(connection, capture=capture, report_interval=SAMPLING_INTERVAL)
+    client.start(0.0)
+    network.run(SINGLE_FLOW_DURATION)
+    report = client.report(SINGLE_FLOW_DURATION)
+    return {
+        "interval_times": list(report.interval_series.times),
+        "interval_values": list(report.interval_series.values),
+        "bytes_transferred": report.bytes_transferred,
+        "mean_throughput_mbps": report.mean_throughput_mbps,
+        "retransmissions": report.retransmissions,
+    }
+
+
+def udp_cbr_mix_config() -> MultiFlowConfig:
+    """MPTCP plus a constant-bit-rate UDP flow that stops mid-run.
+
+    Exercises the UDP source (pacing, stop_at handling, sink accounting) in
+    a multi-flow competition, complementing the on-off coverage of
+    ``cross_traffic_perturbation``.
+    """
+    topology, paths = shared_bottleneck(3, 50.0, 100.0)
+    flows = [
+        FlowSpec(
+            kind="mptcp",
+            name="mptcp",
+            paths=list(paths)[:2],
+            congestion_control="lia",
+        ),
+        FlowSpec(kind="udp", name="udp", path_index=2, rate_mbps=20.0, stop=1.2),
+    ]
+    return MultiFlowConfig(
+        name="udp-cbr-mix",
+        scenario=(topology, paths),
+        flows=flows,
+        duration=MULTI_FLOW_DURATION,
+        sampling_interval=SAMPLING_INTERVAL,
+        bottleneck_link=("agg", "core"),
+    )
+
+
 def compute_golden() -> Dict[str, dict]:
     """Run every pinned scenario and collect the observable output."""
     return {
@@ -127,6 +184,16 @@ def compute_golden() -> Dict[str, dict]:
                 duration=MULTI_FLOW_DURATION, sampling_interval=SAMPLING_INTERVAL
             ).with_overrides(dynamics=DynamicsSpec())
         ),
+        # Traffic-source coverage: the iperf wrapper, the on-off burst source
+        # and the plain CBR UDP source, pinned before the traffic layer moved
+        # under repro.workload (the sources must stay byte-identical).
+        "single/iperf_paper": iperf_case(),
+        "multi/cross_traffic_perturbation": multi_flow_case(
+            cross_traffic_perturbation(
+                duration=MULTI_FLOW_DURATION, sampling_interval=SAMPLING_INTERVAL
+            )
+        ),
+        "multi/udp_cbr_mix": multi_flow_case(udp_cbr_mix_config()),
     }
 
 

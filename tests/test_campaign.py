@@ -209,7 +209,11 @@ class TestRunCampaign:
 
 class TestNamedGrids:
     def test_registry_names(self):
-        assert set(CAMPAIGN_GRIDS) == {"paper_cc_rate", "multiflow_fairness"}
+        assert set(CAMPAIGN_GRIDS) == {
+            "paper_cc_rate",
+            "multiflow_fairness",
+            "workload_fct",
+        }
 
     def test_paper_grid_shape(self):
         spec = paper_cc_rate_campaign(duration=1.0)

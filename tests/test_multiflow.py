@@ -184,6 +184,7 @@ class TestRunMultiflow:
             "mptcp_vs_tcp_shared_bottleneck",
             "two_mptcp_competition",
             "cross_traffic_perturbation",
+            "workload_background",
         }
         for builder in COMPETITION_SCENARIOS.values():
             config = builder(duration=1.0)
