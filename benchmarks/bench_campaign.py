@@ -40,6 +40,39 @@ def campaign_points_second() -> int:
     return result.executed
 
 
+def campaign_recovery_points_second() -> int:
+    """Fabric recovery throughput: a chaos-faulted grid driven to terminal.
+
+    Two of the four points fail their first attempt with an injected error,
+    so the fabric pays the full recovery machinery -- lease claims and
+    releases, attempt bookkeeping, store re-reads and retries -- on top of
+    the simulations.  Returns point *executions* (faulted points run twice),
+    recorded as ``campaign_recovery_points_per_sec`` in the registry.
+    """
+    from repro.experiments.chaos import ChaosSpec
+    from repro.experiments.fabric import FabricConfig, run_campaign_fabric
+
+    with tempfile.TemporaryDirectory() as tmp:
+        result = run_campaign_fabric(
+            _BENCH_SPEC,
+            os.path.join(tmp, "store.jsonl"),
+            fabric=FabricConfig(
+                worker_id="bench", lease_ttl=60.0, backoff_base=0.0
+            ),
+            chaos=ChaosSpec(error_points=(0, 2)),
+            chunk_size=4,
+            max_workers=1,
+        )
+    assert result.deferred == 0
+    assert all(r["status"] == "ok" for r in result.records)
+    return result.executed
+
+
 def test_campaign_points_benchmark():
     """Pytest entry: one timed round must complete every grid point."""
     assert campaign_points_second() == 4
+
+
+def test_campaign_recovery_benchmark():
+    """Pytest entry: 4 points + 2 retries = 6 executions, all terminal ok."""
+    assert campaign_recovery_points_second() == 6

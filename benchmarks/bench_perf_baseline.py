@@ -16,7 +16,7 @@ import platform
 import sys
 import time
 
-from bench_campaign import campaign_points_second
+from bench_campaign import campaign_points_second, campaign_recovery_points_second
 from bench_flowsim import flowsim_10k_wall, flowsim_transitions_second
 from bench_netsim_engine import (
     dynamics_link_flap_second,
@@ -38,6 +38,7 @@ BENCH_REGISTRY = {
     "multiflow_fairness_events_per_sec": (multiflow_fairness_second, 3),
     "dynamics_link_flap_events_per_sec": (dynamics_link_flap_second, 3),
     "campaign_points_per_sec": (campaign_points_second, 3),
+    "campaign_recovery_points_per_sec": (campaign_recovery_points_second, 3),
     "flowsim_flow_events_per_sec": (flowsim_transitions_second, 3),
     "workload_pageload_events_per_sec": (workload_pageload_second, 3),
 }
@@ -105,6 +106,9 @@ def test_write_perf_baseline():
     assert timings["multiflow_fairness_events_per_sec"] > 20_000
     assert timings["dynamics_link_flap_events_per_sec"] > 20_000
     assert timings["campaign_points_per_sec"] > 0.2
+    # ISSUE-8: retries, lease traffic and store re-reads must stay cheap
+    # next to the simulations themselves.
+    assert timings["campaign_recovery_points_per_sec"] > 0.2
     # ISSUE-6 acceptance bounds: the flow-level backend must clear 100k
     # flow-transitions/sec and finish the 10k-flow scenario inside 10 s.
     assert timings["flowsim_flow_events_per_sec"] > 100_000

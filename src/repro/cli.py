@@ -15,6 +15,12 @@ Sub-commands:
                   time and capacity-tracking error.
 * ``campaign`` -- run a named parameter-sweep grid with model-vs-simulation
                   validation, resuming completed points from a JSONL store.
+                  Fabric flags (``--worker-id``, ``--lease-ttl``,
+                  ``--point-timeout``, ``--single-pass``, ``--chaos``) run the
+                  grid under the fault-tolerant fabric: lease-based claiming,
+                  watchdog timeouts, bounded backoff retry and quarantine.
+                  ``campaign merge STORE... --into OUT`` merges/compacts
+                  worker shard stores into one store with no duplicate keys.
 * ``workload`` -- run a named workload scenario (conferencing load, web page
                   load) on either backend and print the flow-completion-time
                   report; ``--compare`` also runs the other fidelity and
@@ -35,7 +41,10 @@ from typing import List, Optional
 from . import __version__
 from .core.coupled import MULTIPATH_ALGORITHMS, PAPER_ALGORITHMS
 from .experiments.ascii_plot import ascii_chart, plot_figure
+from .errors import FabricError
 from .experiments.campaign import CAMPAIGN_GRIDS, run_campaign
+from .experiments.chaos import ChaosSpec
+from .experiments.fabric import FabricConfig, merge_stores, run_campaign_fabric
 from .experiments.figures import fig2a_cubic, fig2b_olia, fig2c_fine, figure_with_algorithm
 from .experiments.harness import run_experiment
 from .experiments.multiflow import run_multiflow
@@ -155,10 +164,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "scenario",
         nargs="?",
         metavar="grid",
-        help=f"one of: {', '.join(sorted(CAMPAIGN_GRIDS))}",
+        help=f"one of: {', '.join(sorted(CAMPAIGN_GRIDS))}; or 'merge' to "
+        "merge/compact shard stores",
+    )
+    campaign.add_argument(
+        "sources",
+        nargs="*",
+        metavar="store",
+        help="shard stores to combine (campaign merge only)",
     )
     campaign.add_argument(
         "--list", action="store_true", help="list the available campaign grids and exit"
+    )
+    campaign.add_argument(
+        "--into",
+        default="campaign_merged.jsonl",
+        help="output path of 'campaign merge' (default: campaign_merged.jsonl)",
     )
     campaign.add_argument(
         "--store",
@@ -181,6 +202,56 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--chunk-size", type=int, default=4)
     campaign.add_argument("--max-workers", type=int, default=None)
+    campaign.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="failed attempts before a point quarantines (default: 3)",
+    )
+    campaign.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker identity for lease records (enables the fabric)",
+    )
+    campaign.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help="seconds a point lease stays live without renewal (default: 30)",
+    )
+    campaign.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        help="per-point wall-clock budget; hung points are killed and "
+        "recorded as status 'timeout' (enables the fabric)",
+    )
+    campaign.add_argument(
+        "--single-pass",
+        action="store_true",
+        help="one claim/execute round, leaving retries to the next "
+        "invocation or worker (enables the fabric)",
+    )
+    campaign.add_argument(
+        "--chaos",
+        action="append",
+        default=[],
+        metavar="KIND=INDEX",
+        help="inject a deterministic fault (crash/hang/torn/error) at a grid "
+        "point index; repeatable (enables the fabric)",
+    )
+    campaign.add_argument(
+        "--chaos-attempts",
+        type=int,
+        default=1,
+        help="how many failed attempts each chaos fault keeps firing for",
+    )
+    campaign.add_argument(
+        "--chaos-hang-duration",
+        type=float,
+        default=30.0,
+        help="sleep length of injected hangs (must exceed --point-timeout)",
+    )
     campaign.add_argument("--no-plot", action="store_true", help="skip the error plot")
     campaign.add_argument("--json", action="store_true")
 
@@ -431,7 +502,44 @@ def _command_dynamics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_campaign_merge(args: argparse.Namespace) -> int:
+    """``campaign merge STORE... --into OUT``: combine worker shard stores."""
+    if not args.sources:
+        print(
+            "error: campaign merge needs at least one source store",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = merge_stores(args.sources, args.into)
+    except FabricError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_dumps(report.as_dict()))
+        return 0
+    print(
+        f"merged {len(report.sources)} store(s) into {report.path}: "
+        f"{report.keys} keys ({report.completed} completed, "
+        f"{report.quarantined} quarantined, {report.retryable} retryable), "
+        f"{report.dropped_leases} lease records dropped"
+    )
+    return 0
+
+
+def _campaign_chaos(args: argparse.Namespace) -> Optional[ChaosSpec]:
+    if not args.chaos:
+        return None
+    return ChaosSpec.parse(
+        args.chaos,
+        fire_attempts=args.chaos_attempts,
+        hang_duration=args.chaos_hang_duration,
+    )
+
+
 def _command_campaign(args: argparse.Namespace) -> int:
+    if args.scenario == "merge":
+        return _command_campaign_merge(args)
     grid = _resolve_scenario(args, CAMPAIGN_GRIDS, "campaign")
     if grid is None:
         return args.exit_code
@@ -444,18 +552,48 @@ def _command_campaign(args: argparse.Namespace) -> int:
         if total:
             print(f"campaign {grid}: {done}/{total} pending points", file=sys.stderr)
 
-    result = run_campaign(
-        spec,
-        store_path,
-        chunk_size=args.chunk_size,
-        max_workers=args.max_workers,
-        resume=args.resume,
-        progress=progress,
+    use_fabric = (
+        args.worker_id is not None
+        or args.point_timeout is not None
+        or args.single_pass
+        or bool(args.chaos)
     )
+    try:
+        if use_fabric:
+            fabric = FabricConfig(
+                worker_id=args.worker_id or "",
+                lease_ttl=args.lease_ttl,
+                max_attempts=args.max_attempts,
+                point_timeout=args.point_timeout,
+                max_rounds=1 if args.single_pass else None,
+            )
+            result = run_campaign_fabric(
+                spec,
+                store_path,
+                fabric=fabric,
+                chaos=_campaign_chaos(args),
+                chunk_size=args.chunk_size,
+                max_workers=args.max_workers,
+                resume=args.resume,
+                progress=progress,
+            )
+        else:
+            result = run_campaign(
+                spec,
+                store_path,
+                chunk_size=args.chunk_size,
+                max_workers=args.max_workers,
+                resume=args.resume,
+                max_attempts=args.max_attempts,
+                progress=progress,
+            )
+    except FabricError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     report = result.validation_report()
-    # Partially failed grids must be visible to automation: error points are
-    # reported (and retried on the next invocation) but the exit is non-zero.
-    exit_code = 1 if result.error_records else 0
+    # Partial grids must be visible to automation: retryable failures (retried
+    # on the next invocation) and quarantined points exit non-zero.
+    exit_code = 1 if result.error_records or result.quarantined_records else 0
 
     if args.json:
         print(
@@ -475,7 +613,11 @@ def _command_campaign(args: argparse.Namespace) -> int:
     print()
     rows = []
     lp_errors = []
-    for point, record in zip(result.points, result.records):
+    by_key = {record.get("key"): record for record in result.records}
+    for point in result.points:
+        # A point can lack a record entirely (left to another live worker by
+        # a fabric run); keep the table aligned and show it as pending.
+        record = by_key.get(point.key, {"status": "pending"})
         validation = record.get("validation") or {}
         lp = (validation.get("predictions") or {}).get("lp") or {}
         rel_error = lp.get("rel_error")
@@ -499,10 +641,16 @@ def _command_campaign(args: argparse.Namespace) -> int:
             rows,
         )
     )
-    if result.error_records:
+    if result.error_records or result.quarantined_records:
         print()
         for record in result.error_records:
             print(f"error: {record.get('params')}: {record.get('error')}", file=sys.stderr)
+        for record in result.quarantined_records:
+            print(
+                f"quarantined after {record.get('attempts')} attempts: "
+                f"{record.get('params')}: {record.get('error')}",
+                file=sys.stderr,
+            )
     print()
     print("model-vs-simulation error summary:")
     summary_rows = [

@@ -33,3 +33,11 @@ class ProtocolError(ReproError):
 
 class ModelError(ReproError):
     """Raised by the analytical model (infeasible LP, bad constraint matrix...)."""
+
+
+class FabricError(ReproError):
+    """Raised by the fault-tolerant campaign fabric (merge, chaos, watchdog)."""
+
+
+class LeaseError(FabricError):
+    """Raised for lease-protocol violations (invalid TTL, renewing a lost lease)."""

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pathlib
 from dataclasses import dataclass
 from functools import partial
@@ -532,21 +533,94 @@ def _execute_point(point: CampaignPoint) -> dict:
     return sanitize_metrics(record)  # type: ignore[return-value]
 
 
+#: ``record_type`` marker of lease records (see :mod:`repro.experiments.fabric`).
+#: Result records carry no ``record_type`` field, so every record written by a
+#: pre-fabric campaign loads exactly as before.
+LEASE_RECORD_TYPE = "lease"
+
+#: Statuses that end a point's lifecycle: it will never run again.
+TERMINAL_STATUSES = ("ok", "quarantined")
+
+#: Statuses that re-run on a later invocation (until ``max_attempts``).
+RETRYABLE_STATUSES = ("error", "timeout")
+
+
+def _attempts_of(record: dict) -> int:
+    """Failed-attempt count recorded on a point's latest store record.
+
+    Pre-fabric error records carry no counter; they represent exactly one
+    failed attempt.
+    """
+    if record.get("status") not in RETRYABLE_STATUSES:
+        return int(record.get("attempts", 0))
+    return int(record.get("attempts", 1))
+
+
+def _finalize_record(
+    record: dict,
+    attempts: Dict[str, int],
+    max_attempts: int,
+    *,
+    worker: Optional[str] = None,
+) -> dict:
+    """Stamp retry bookkeeping onto a freshly produced point record.
+
+    Successful records pass through untouched (a fault-free store stays
+    byte-identical to the pre-fabric format); failures gain an ``attempts``
+    counter (and the executing ``worker``, when known) and flip to the
+    terminal ``"quarantined"`` status once ``max_attempts`` is exhausted.
+    """
+    if record.get("status") == "ok":
+        return record
+    key = record.get("key")
+    count = attempts.get(key, 0) + 1
+    attempts[key] = count
+    record["attempts"] = count
+    if worker:
+        record["worker"] = worker
+    if record.get("status") in RETRYABLE_STATUSES and count >= max_attempts:
+        record["status"] = "quarantined"
+    return record
+
+
+def _quarantined_from(record: dict) -> dict:
+    """A quarantined copy of an attempts-exhausted retryable record."""
+    quarantined = dict(record)
+    quarantined["status"] = "quarantined"
+    quarantined["attempts"] = _attempts_of(record)
+    return quarantined
+
+
 class ResultStore:
     """Append-only JSONL store of campaign point records, keyed by content hash.
 
     Each line is one self-describing record (``key``, ``params``, ``status``
     and, for successful points, the run summary plus validation).  Loading
     tolerates a torn final line (crash mid-append) and keeps the *last*
-    record per key, so a re-run after a failure simply overrides the stale
-    error entry.
+    record per key -- except that a completed (``"ok"``) record is terminal
+    and is never shadowed by a later failure report (two workers may race on
+    the same point; the one that finished wins).  Lease records appended by
+    the fabric layer (``record_type: "lease"``) are bookkeeping, not results,
+    and are skipped.
+
+    Appends serialise each record as a **single** ``os.write`` of one
+    newline-terminated line on an ``O_APPEND`` descriptor, so concurrent
+    writers (threads, processes, fabric workers sharing one store) never
+    interleave partial lines.  If a previous writer crashed mid-append and
+    left a torn tail without a newline, the next append starts on a fresh
+    line instead of fusing with (and thereby corrupting) the fragment.
     """
 
     def __init__(self, path: Union[str, pathlib.Path]) -> None:
         self.path = pathlib.Path(path)
 
-    def load(self) -> Dict[str, dict]:
-        records: Dict[str, dict] = {}
+    def iter_records(self) -> List[dict]:
+        """Every parseable record in file (i.e. write) order.
+
+        Unparseable lines -- a torn tail from a crashed writer -- are
+        skipped, as are blank lines.
+        """
+        records: List[dict] = []
         if not self.path.exists():
             return records
         with self.path.open("r", encoding="utf-8") as handle:
@@ -558,10 +632,38 @@ class ResultStore:
                     record = json.loads(line)
                 except json.JSONDecodeError:
                     continue  # torn tail write from a crashed run
-                key = record.get("key")
-                if isinstance(key, str):
-                    records[key] = record
+                if isinstance(record, dict):
+                    records.append(record)
         return records
+
+    def load(self) -> Dict[str, dict]:
+        records: Dict[str, dict] = {}
+        for record in self.iter_records():
+            if record.get("record_type") == LEASE_RECORD_TYPE:
+                continue
+            key = record.get("key")
+            if not isinstance(key, str):
+                continue
+            previous = records.get(key)
+            if (
+                previous is not None
+                and previous.get("status") == "ok"
+                and record.get("status") != "ok"
+            ):
+                continue  # completed results are terminal: last *ok* writer wins
+            records[key] = record
+        return records
+
+    def load_leases(self) -> Dict[str, dict]:
+        """The last lease record per key, in no particular liveness state."""
+        leases: Dict[str, dict] = {}
+        for record in self.iter_records():
+            if record.get("record_type") != LEASE_RECORD_TYPE:
+                continue
+            key = record.get("key")
+            if isinstance(key, str):
+                leases[key] = record
+        return leases
 
     def append(self, record: dict) -> None:
         if self.path.parent and not self.path.parent.exists():
@@ -569,8 +671,28 @@ class ResultStore:
         line = json.dumps(
             sanitize_metrics(record), sort_keys=True, allow_nan=False
         )
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
+        data = (line + "\n").encode("utf-8")
+        fd = os.open(str(self.path), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            if self._tail_is_torn():
+                # Heal a crashed writer's partial line: without this, the next
+                # record would fuse onto the fragment and *both* would be lost.
+                data = b"\n" + data
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+
+    def _tail_is_torn(self) -> bool:
+        """True when the file is non-empty and does not end with a newline."""
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return False
+        if size == 0:
+            return False
+        with self.path.open("rb") as handle:
+            handle.seek(-1, os.SEEK_END)
+            return handle.read(1) != b"\n"
 
     def __len__(self) -> int:
         return len(self.load())
@@ -586,6 +708,9 @@ class CampaignResult:
     records: List[dict]
     executed: int
     skipped: int
+    #: Points left pending because another live worker holds their lease
+    #: (fabric runs only; a plain ``run_campaign`` never defers).
+    deferred: int = 0
 
     @property
     def ok_records(self) -> List[dict]:
@@ -593,7 +718,13 @@ class CampaignResult:
 
     @property
     def error_records(self) -> List[dict]:
-        return [r for r in self.records if r.get("status") == "error"]
+        """Retryable failures (``error`` and ``timeout``): re-run next time."""
+        return [r for r in self.records if r.get("status") in RETRYABLE_STATUSES]
+
+    @property
+    def quarantined_records(self) -> List[dict]:
+        """Points that exhausted ``max_attempts``: terminal, never re-run."""
+        return [r for r in self.records if r.get("status") == "quarantined"]
 
     def validation_report(self) -> ValidationReport:
         return ValidationReport.from_validations(
@@ -641,9 +772,12 @@ class CampaignResult:
             "executed": self.executed,
             "skipped": self.skipped,
             "errors": len(self.error_records),
+            "quarantined": len(self.quarantined_records),
             "store": str(self.store_path),
             "report": self.validation_report().as_dict(),
         }
+        if self.deferred:
+            summary["deferred"] = self.deferred
         cross = self.cross_fidelity_report()
         if cross is not None:
             summary["cross_fidelity"] = cross
@@ -654,6 +788,41 @@ def _chunks(items: Sequence, size: int) -> List[List]:
     return [list(items[i:i + size]) for i in range(0, len(items), size)]
 
 
+def _classify_existing(
+    points: Sequence[CampaignPoint],
+    existing: Dict[str, dict],
+    store: ResultStore,
+    max_attempts: int,
+) -> Tuple[Dict[str, dict], Dict[str, int]]:
+    """Split a store's prior records into terminal results and retry counters.
+
+    Returns ``(done, attempts)``: ``done`` maps keys that must not run again
+    (completed or quarantined) to their record, ``attempts`` carries the
+    failed-attempt count of every retryable point.  A retryable record whose
+    counter already meets ``max_attempts`` (e.g. written by an invocation
+    with a higher ceiling) is quarantined on the spot -- the quarantined
+    record is appended so the store, not just this process, reflects the
+    terminal state.
+    """
+    done: Dict[str, dict] = {}
+    attempts: Dict[str, int] = {}
+    for point in points:
+        record = existing.get(point.key)
+        if record is None:
+            continue
+        status = record.get("status")
+        if status in TERMINAL_STATUSES:
+            done[point.key] = record
+        elif status in RETRYABLE_STATUSES:
+            count = _attempts_of(record)
+            attempts[point.key] = count
+            if count >= max_attempts:
+                quarantined = _quarantined_from(record)
+                store.append(quarantined)
+                done[point.key] = quarantined
+    return done, attempts
+
+
 def run_campaign(
     spec: CampaignSpec,
     store: Union[str, pathlib.Path, ResultStore],
@@ -661,6 +830,7 @@ def run_campaign(
     chunk_size: int = 4,
     max_workers: Optional[int] = None,
     resume: bool = True,
+    max_attempts: int = 3,
     progress: Optional[Callable[[int, int], None]] = None,
 ) -> CampaignResult:
     """Execute a campaign grid, resuming from the store's completed points.
@@ -671,17 +841,22 @@ def run_campaign(
     starts, so a crash loses at most one chunk of work.  ``progress`` is
     called with ``(points_done, points_pending_total)`` after each chunk
     (and once with ``(0, total)`` up front).
+
+    Failed points carry an ``attempts`` counter across invocations and stop
+    retrying once ``max_attempts`` is reached: the point's record flips to
+    the terminal ``"quarantined"`` status, the rest of the grid still
+    summarises, and :meth:`CampaignResult.summary` surfaces the quarantined
+    count.  For leases, watchdog timeouts and in-invocation backoff see
+    :func:`repro.experiments.fabric.run_campaign_fabric`.
     """
     if chunk_size < 1:
         raise ConfigurationError("chunk_size must be at least 1")
+    if max_attempts < 1:
+        raise ConfigurationError("max_attempts must be at least 1")
     store = store if isinstance(store, ResultStore) else ResultStore(store)
     points = spec.expand()
     existing = store.load() if resume else {}
-    done = {
-        key: record
-        for key, record in existing.items()
-        if record.get("status") == "ok"
-    }
+    done, attempts = _classify_existing(points, existing, store, max_attempts)
     pending = [point for point in points if point.key not in done]
     if progress is not None:
         progress(0, len(pending))
@@ -691,6 +866,7 @@ def run_campaign(
             chunk, max_workers=max_workers, runner=_execute_point
         )
         for record in records:
+            record = _finalize_record(record, attempts, max_attempts)
             store.append(record)
             done[record["key"]] = record
         completed += len(chunk)

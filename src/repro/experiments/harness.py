@@ -10,6 +10,8 @@ series, and compare the result against the analytical optimum.
 from __future__ import annotations
 
 import pickle
+import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
@@ -253,6 +255,178 @@ def run_scenarios_parallel(
     except (BrokenProcessPool, PermissionError):
         # No subprocess support (restricted sandbox): run in-process.
         return [runner(config) for config in configs]
+
+
+def _guarded_child(conn, runner: Callable, config) -> None:
+    """Child-process body for :func:`run_scenarios_guarded`.
+
+    Ships the runner's result (or a stringified failure) back over the pipe;
+    a process that dies before sending anything is detected by the parent's
+    watchdog as a crash.
+    """
+    try:
+        conn.send(("result", runner(config)))
+    except BaseException as error:  # noqa: BLE001 - report, then let the child die
+        try:
+            conn.send(("raised", f"{type(error).__name__}: {error}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def run_scenarios_guarded(
+    configs: Sequence,
+    *,
+    runner: Callable = run_experiment,
+    timeout: Optional[float] = None,
+    max_workers: Optional[int] = None,
+    on_timeout: Optional[Callable] = None,
+    on_crash: Optional[Callable] = None,
+    serial_runner: Optional[Callable] = None,
+    poll_interval: float = 0.05,
+    tick: Optional[Callable[[], None]] = None,
+) -> List:
+    """Watchdog-supervised variant of :func:`run_scenarios_parallel`.
+
+    Each configuration runs in its **own** worker process (bounded by
+    ``max_workers`` concurrent children) while the parent polls result pipes,
+    liveness and per-point deadlines:
+
+    * a point exceeding ``timeout`` wall-clock seconds is killed
+      (``terminate``) and replaced by ``on_timeout(config)``;
+    * a child that dies without reporting -- crash, OOM-kill, ``os._exit``
+      -- is replaced by ``on_crash(config, reason)``;
+    * ``tick`` (if given) is called on every poll sweep, which is where the
+      campaign fabric renews its leases while long points run.
+
+    This is the enforcement layer under the fabric's per-point budgets: a
+    pool-based map cannot kill a wedged task, a dedicated process can.
+    Results come back in ``configs`` order.  When worker processes are
+    unavailable (restricted sandboxes, unpicklable runners) the scenarios
+    run serially via ``serial_runner`` (default: ``runner``); real hangs
+    cannot be killed in-process, but a point whose serial run exceeded the
+    budget is still reported through ``on_timeout``.
+    """
+    configs = list(configs)
+    if not configs:
+        return []
+    if timeout is not None and timeout <= 0:
+        raise ConfigurationError("watchdog timeout must be positive")
+    if timeout is not None and on_timeout is None:
+        raise ConfigurationError("a timeout needs an on_timeout record factory")
+
+    def run_serial() -> List:
+        fallback = serial_runner or runner
+        results = []
+        for config in configs:
+            started = time.monotonic()
+            result = fallback(config)
+            if timeout is not None and time.monotonic() - started > timeout:
+                result = on_timeout(config)
+            results.append(result)
+            if tick is not None:
+                tick()
+        return results
+
+    try:
+        pickle.dumps((runner, configs))
+    except Exception:
+        return run_serial()
+    import multiprocessing
+    import os as _os
+
+    ctx = multiprocessing.get_context()
+    workers = max(1, min(max_workers or _os.cpu_count() or 1, len(configs)))
+    results: List = [None] * len(configs)
+    queue = deque(enumerate(configs))
+    running: Dict[int, tuple] = {}  # index -> (process, pipe, deadline, config)
+
+    def reap(index: int, result) -> None:
+        process, conn, _, _ = running.pop(index)
+        conn.close()
+        process.join(timeout=1.0)
+        if process.is_alive():  # pragma: no cover - stuck after result/kill
+            process.kill()
+            process.join()
+        results[index] = result
+
+    try:
+        while queue or running:
+            while queue and len(running) < workers:
+                index, config = queue.popleft()
+                receiver, sender = ctx.Pipe(duplex=False)
+                process = ctx.Process(
+                    target=_guarded_child, args=(sender, runner, config)
+                )
+                try:
+                    process.start()
+                except (PermissionError, OSError):
+                    # No subprocess support: drain everything serially.
+                    receiver.close()
+                    sender.close()
+                    for idx, (proc, conn, _, _) in list(running.items()):
+                        proc.terminate()
+                        proc.join()
+                        conn.close()
+                    running.clear()
+                    return run_serial()
+                sender.close()
+                deadline = (
+                    None if timeout is None else time.monotonic() + timeout
+                )
+                running[index] = (process, receiver, deadline, config)
+            progressed = False
+            for index, (process, conn, deadline, config) in list(running.items()):
+                if conn.poll(0):
+                    try:
+                        kind, payload = conn.recv()
+                    except (EOFError, OSError):
+                        # The pipe closed without a result: the child died
+                        # (os._exit, signal) before flushing anything.
+                        kind = "raised"
+                        payload = (
+                            "worker process died before reporting "
+                            f"(exit code {process.exitcode})"
+                        )
+                    if kind == "result":
+                        reap(index, payload)
+                    elif on_crash is not None:
+                        reap(index, on_crash(config, payload))
+                    else:
+                        reap(index, None)
+                        raise RuntimeError(
+                            f"guarded worker failed for {config!r}: {payload}"
+                        )
+                    progressed = True
+                elif not process.is_alive():
+                    reason = f"worker process died (exit code {process.exitcode})"
+                    if on_crash is None:
+                        reap(index, None)
+                        raise RuntimeError(
+                            f"guarded worker crashed for {config!r}: {reason}"
+                        )
+                    reap(index, on_crash(config, reason))
+                    progressed = True
+                elif deadline is not None and time.monotonic() > deadline:
+                    process.terminate()
+                    process.join(timeout=1.0)
+                    if process.is_alive():  # pragma: no cover - ignores SIGTERM
+                        process.kill()
+                    reap(index, on_timeout(config))
+                    progressed = True
+            if tick is not None:
+                tick()
+            if not progressed and running:
+                time.sleep(poll_interval)
+    finally:
+        for process, conn, _, _ in running.values():
+            process.terminate()
+            process.join(timeout=1.0)
+            if process.is_alive():  # pragma: no cover
+                process.kill()
+            conn.close()
+    return results
 
 
 def paper_experiment(
