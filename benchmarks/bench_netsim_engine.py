@@ -10,7 +10,7 @@ second of a saturated single TCP flow.
 from conftest import report
 
 from repro.measure.report import comparison_row
-from repro.netsim.engine import Simulator
+from repro.netsim.engine import make_simulator
 from repro.netsim.network import Network
 from repro.netsim.topology import Topology
 from repro.tcp.connection import TcpConnection
@@ -18,7 +18,7 @@ from repro.tcp.connection import TcpConnection
 
 def pump_events(count: int = 50_000) -> int:
     """Self-scheduling event chains through the packet-pipeline fast path."""
-    sim = Simulator()
+    sim = make_simulator()
     schedule_fast = sim.schedule_fast
 
     def tick(remaining: int) -> None:
@@ -33,7 +33,7 @@ def pump_events(count: int = 50_000) -> int:
 
 def pump_events_with_handles(count: int = 50_000) -> int:
     """Same workload through schedule(), which returns cancellation handles."""
-    sim = Simulator()
+    sim = make_simulator()
 
     def tick(remaining: int) -> None:
         if remaining > 0:

@@ -1,10 +1,16 @@
 """Perf-regression guard: machine-readable substrate and protocol timings.
 
 Times the engine, the packet-pipeline and the multi-flow fairness hot paths
-with ``time.perf_counter`` and writes the events-per-second figures to
-``BENCH_engine.json`` next to this file, so future changes can compare
-against the recorded trajectory (regenerate on the same machine before and
-after a change).
+with ``time.perf_counter`` and writes the events-per-second figures next to
+this file, so future changes can compare against the recorded trajectory
+(regenerate on the same machine before and after a change).
+
+Baselines are per kernel: with the compiled kernel active the figures land
+in ``BENCH_engine.json`` (the primary performance contract); under
+``REPRO_KERNEL=python`` they land in ``BENCH_engine_python.json``, keeping
+the pure-Python trajectory guarded on its own terms.  The payload records
+which kernel produced it so ``check_regression.py`` and ``repro.cli info``
+can flag cross-kernel comparisons as drift.
 
 Runs as a plain pytest test (no ``benchmark`` fixture), so a bare
 ``pytest benchmarks/bench_perf_baseline.py`` refreshes the file.
@@ -12,9 +18,11 @@ Runs as a plain pytest test (no ``benchmark`` fixture), so a bare
 
 import json
 import pathlib
-import platform
 import sys
 import time
+
+from repro.kernel import active_kernel
+from repro.measure.baseline import baseline_basename, running_environment
 
 from bench_campaign import campaign_points_second, campaign_recovery_points_second
 from bench_flowsim import flowsim_10k_wall, flowsim_transitions_second
@@ -27,7 +35,9 @@ from bench_netsim_engine import (
 )
 from bench_workload import workload_10k_wall, workload_pageload_second
 
-RESULTS_PATH = pathlib.Path(__file__).with_name("BENCH_engine.json")
+def results_path() -> pathlib.Path:
+    """Baseline file for the active kernel (kernel resolution is lazy)."""
+    return pathlib.Path(__file__).with_name(baseline_basename(active_kernel()))
 
 #: metric name -> (workload callable, timing rounds).  check_regression.py
 #: re-times exactly these, so adding a metric here automatically guards it.
@@ -90,15 +100,16 @@ def measure_all() -> dict:
 
 
 def test_write_perf_baseline():
+    kernel = active_kernel()
     timings = measure_all()
     payload = {
         "schema": 1,
-        "python": sys.version.split()[0],
-        "platform": platform.platform(),
+        **running_environment(kernel),
         "timings": {key: round(value, 3) for key, value in timings.items()},
     }
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    print(f"\nwrote {RESULTS_PATH}:", json.dumps(payload["timings"], indent=2), file=sys.stderr)
+    path = results_path()
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {path}:", json.dumps(payload["timings"], indent=2), file=sys.stderr)
     # Loose sanity floors: an order of magnitude below current numbers, so
     # the guard trips on catastrophic regressions without being flaky.
     assert timings["engine_fast_path_events_per_sec"] > 100_000

@@ -1,11 +1,16 @@
 """Benchmark smoke: guard against regressions of the recorded timings.
 
-Re-times every metric shared between the committed ``BENCH_engine.json``
-baseline and the local bench registry (``bench_perf_baseline.BENCH_REGISTRY``)
-and fails when a fresh events-per-second figure falls below
-``baseline / BENCH_TOLERANCE`` (default 4x) -- a catastrophic regression, not
-noise (CI machines differ wildly from the machine that recorded the
-baseline).
+Re-times every metric shared between the committed baseline and the local
+bench registry (``bench_perf_baseline.BENCH_REGISTRY``) and fails when a
+fresh events-per-second figure falls below ``baseline / BENCH_TOLERANCE``
+(default 4x) -- a catastrophic regression, not noise (CI machines differ
+wildly from the machine that recorded the baseline).
+
+The guard is kernel-aware: with the compiled kernel active it compares
+against ``BENCH_engine.json`` (the compiled performance contract); under
+``REPRO_KERNEL=python`` it selects ``BENCH_engine_python.json`` instead, so
+the pure-Python fallback is guarded against its own trajectory rather than
+the compiled targets.
 
 Key handling is forward- and backward-compatible by construction:
 
@@ -28,38 +33,43 @@ _HERE = pathlib.Path(__file__).resolve().parent
 sys.path.insert(0, str(_HERE))
 sys.path.insert(0, str(_HERE.parent / "src"))
 
-BASELINE_PATH = _HERE / "BENCH_engine.json"
 TOLERANCE = float(os.environ.get("BENCH_TOLERANCE", "4.0"))
 
 
-def _warn_environment_drift(payload: dict) -> None:
+def _warn_environment_drift(payload: dict, kernel: str) -> None:
     """Warn when the baseline was recorded on a different interpreter/OS.
 
     A mismatched environment makes absolute comparisons unreliable (the
     tolerance absorbs most of it, but the reader should know); re-record
     with ``pytest benchmarks/bench_perf_baseline.py`` on this machine.
+    Shares the drift detection with ``repro.cli info``.
     """
-    import platform
+    from repro.measure.baseline import environment_drift
 
-    running = {
-        "python": sys.version.split()[0],
-        "platform": platform.platform(),
-    }
-    for field, current in running.items():
-        recorded = payload.get(field)
-        if recorded is not None and recorded != current:
-            print(
-                f"  WARNING: baseline {field} is {recorded!r} but this machine "
-                f"runs {current!r}; timings are cross-environment "
-                "(re-record with bench_perf_baseline.py)",
-                file=sys.stderr,
-            )
+    for message in environment_drift(payload, kernel=kernel):
+        print(
+            f"  WARNING: {message}; timings are cross-environment "
+            "(re-record with bench_perf_baseline.py)",
+            file=sys.stderr,
+        )
 
 
 def main() -> int:
     from bench_perf_baseline import BENCH_REGISTRY, WALL_REGISTRY, best_rate, best_wall
+    from repro.kernel import active_kernel
+    from repro.measure.baseline import baseline_basename
 
-    payload = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    kernel = active_kernel()
+    baseline_path = _HERE / baseline_basename(kernel)
+    if not baseline_path.is_file():
+        print(
+            f"no baseline recorded for the {kernel} kernel "
+            f"({baseline_path.name} missing); record one with "
+            "pytest benchmarks/bench_perf_baseline.py",
+            file=sys.stderr,
+        )
+        return 1
+    payload = json.loads(baseline_path.read_text(encoding="utf-8"))
     baseline = payload["timings"]
     local = set(BENCH_REGISTRY) | set(WALL_REGISTRY)
     checked = sorted(set(baseline) & local)
@@ -67,8 +77,11 @@ def main() -> int:
     unrecorded = sorted(local - set(baseline))
 
     failed = []
-    print(f"benchmark smoke vs {BASELINE_PATH.name} (tolerance {TOLERANCE:g}x)")
-    _warn_environment_drift(payload)
+    print(
+        f"benchmark smoke vs {baseline_path.name} "
+        f"({kernel} kernel, tolerance {TOLERANCE:g}x)"
+    )
+    _warn_environment_drift(payload, kernel)
     for key in checked:
         recorded = baseline[key]
         if key in WALL_REGISTRY:

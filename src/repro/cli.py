@@ -25,6 +25,11 @@ Sub-commands:
                   load) on either backend and print the flow-completion-time
                   report; ``--compare`` also runs the other fidelity and
                   reports the cross-backend FCT error.
+* ``info``     -- print the active simulation kernel (compiled vs python,
+                  and why), the package version, the interpreter/platform,
+                  and whether the recorded bench baseline is comparable to
+                  this environment (same drift detection as
+                  ``benchmarks/check_regression.py``).
 
 All ``--json`` output is NaN-safe: non-finite metrics are emitted as
 ``null`` and serialisation runs with ``allow_nan=False`` so a regression
@@ -289,6 +294,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also run the other fidelity and report the cross-backend FCT error",
     )
     workload.add_argument("--json", action="store_true")
+
+    info = subparsers.add_parser(
+        "info",
+        help="print the active kernel, version, environment and baseline drift",
+    )
+    info.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="bench baseline JSON to check for drift (default: the "
+        "benchmarks/ file matching the active kernel, when present)",
+    )
+    info.add_argument("--json", action="store_true")
     return parser
 
 
@@ -786,6 +804,79 @@ def _command_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _baseline_status(kernel: str, explicit: Optional[str]) -> dict:
+    """Bench-baseline drift status for ``info`` (no benchmarks are run).
+
+    Reuses :func:`repro.measure.baseline.environment_drift` -- the same
+    detection ``check_regression.py`` warns with -- so the CLI can state
+    whether the committed baseline numbers are comparable to this machine.
+    """
+    from .measure.baseline import environment_drift, find_baseline, load_baseline
+
+    path = find_baseline(kernel, explicit)
+    if path is None:
+        return {"status": "missing", "path": explicit, "drift": []}
+    try:
+        payload = load_baseline(path)
+    except (OSError, ValueError) as error:
+        return {"status": "unreadable", "path": str(path), "drift": [str(error)]}
+    drift = environment_drift(payload, kernel=kernel)
+    return {
+        "status": "drift" if drift else "comparable",
+        "path": str(path),
+        "drift": drift,
+        "recorded": {
+            field: payload.get(field) for field in ("python", "platform", "kernel")
+        },
+    }
+
+
+def _command_info(args: argparse.Namespace) -> int:
+    import platform
+
+    from .kernel import kernel_info
+
+    kernel = kernel_info()
+    baseline = _baseline_status(kernel["kernel"], args.baseline)
+    if args.json:
+        print(
+            _dumps(
+                {
+                    "version": __version__,
+                    "python": sys.version.split()[0],
+                    "platform": platform.platform(),
+                    "kernel": kernel,
+                    "baseline": baseline,
+                }
+            )
+        )
+        return 0
+
+    print(f"mptcp-overlap {__version__}")
+    print(f"python:    {sys.version.split()[0]}")
+    print(f"platform:  {platform.platform()}")
+    print(f"kernel:    {kernel['kernel']} (REPRO_KERNEL mode: {kernel['mode']})")
+    if kernel["extension"]:
+        print(f"extension: {kernel['extension']}")
+    else:
+        print(f"extension: not loaded ({kernel['compiled_reason']})")
+    if baseline["status"] == "missing":
+        print(
+            f"baseline:  none recorded for the {kernel['kernel']} kernel "
+            "(record with: pytest benchmarks/bench_perf_baseline.py)"
+        )
+    elif baseline["status"] == "unreadable":
+        print(f"baseline:  {baseline['path']} unreadable: {baseline['drift'][0]}")
+    elif baseline["drift"]:
+        print(f"baseline:  {baseline['path']} DRIFT")
+        for message in baseline["drift"]:
+            print(f"  - {message}")
+        print("  (timings are cross-environment; re-record with bench_perf_baseline.py)")
+    else:
+        print(f"baseline:  {baseline['path']} comparable to this environment")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (also exposed as the ``mptcp-overlap`` console script)."""
     parser = _build_parser()
@@ -799,6 +890,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "dynamics": _command_dynamics,
         "campaign": _command_campaign,
         "workload": _command_workload,
+        "info": _command_info,
     }
     return handlers[args.command](args)
 

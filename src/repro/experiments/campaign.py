@@ -51,7 +51,7 @@ from ..topologies.generators import shared_bottleneck, wifi_cellular
 from ..topologies.paper import PAPER_DEFAULT_PATH_INDEX, paper_scenario
 from ..workload.runner import WorkloadConfig, run_workload
 from ..workload.scenarios import WORKLOAD_SCENARIOS
-from .harness import ExperimentConfig, run_experiment, run_scenarios_parallel
+from .harness import ExperimentConfig, ScenarioPool, run_experiment
 from .multiflow import MultiFlowConfig, run_multiflow
 from .scenarios import COMPETITION_SCENARIOS
 
@@ -835,12 +835,14 @@ def run_campaign(
 ) -> CampaignResult:
     """Execute a campaign grid, resuming from the store's completed points.
 
-    The pending points run in chunks of ``chunk_size`` through
-    :func:`run_scenarios_parallel` (one process per point inside a chunk);
-    every finished chunk is flushed to the JSONL store before the next one
-    starts, so a crash loses at most one chunk of work.  ``progress`` is
-    called with ``(points_done, points_pending_total)`` after each chunk
-    (and once with ``(0, total)`` up front).
+    The pending points run in chunks of ``chunk_size`` through a shared
+    :class:`~repro.experiments.harness.ScenarioPool` -- the worker processes
+    persist across chunks, so the per-point cost is the simulation itself
+    rather than pool startup.  Every finished chunk is flushed to the JSONL
+    store before the next one starts, so a crash loses at most one chunk of
+    work.  ``progress`` is called with ``(points_done,
+    points_pending_total)`` after each chunk (and once with ``(0, total)``
+    up front).
 
     Failed points carry an ``attempts`` counter across invocations and stop
     retrying once ``max_attempts`` is reached: the point's record flips to
@@ -861,17 +863,18 @@ def run_campaign(
     if progress is not None:
         progress(0, len(pending))
     completed = 0
-    for chunk in _chunks(pending, chunk_size):
-        records = run_scenarios_parallel(
-            chunk, max_workers=max_workers, runner=_execute_point
-        )
-        for record in records:
-            record = _finalize_record(record, attempts, max_attempts)
-            store.append(record)
-            done[record["key"]] = record
-        completed += len(chunk)
-        if progress is not None:
-            progress(completed, len(pending))
+    with ScenarioPool(
+        max_workers=max_workers, runner=_execute_point, expected=len(pending)
+    ) as pool:
+        for chunk in _chunks(pending, chunk_size):
+            records = pool.map(chunk)
+            for record in records:
+                record = _finalize_record(record, attempts, max_attempts)
+                store.append(record)
+                done[record["key"]] = record
+            completed += len(chunk)
+            if progress is not None:
+                progress(completed, len(pending))
     return CampaignResult(
         spec=spec,
         store_path=store.path,

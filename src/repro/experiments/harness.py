@@ -219,6 +219,76 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     )
 
 
+class ScenarioPool:
+    """Reusable worker pool for chunked scenario sweeps.
+
+    :func:`run_scenarios_parallel` tears its process pool down after every
+    call, which is fine for one-shot sweeps but dominates the cost of small
+    campaign chunks: a four-point chunk pays worker spawn plus interpreter
+    import on every chunk.  ``ScenarioPool`` keeps the workers alive across
+    :meth:`map` calls so a chunked campaign pays the startup cost once,
+    while preserving the same fallbacks (serial when multiprocessing is
+    unavailable or the payload cannot be pickled) and in-order results.
+
+    ``expected`` is the total number of configurations the pool will see
+    across all calls; a pool that will only ever run one configuration (or
+    ``max_workers=1``) stays serial and never spawns workers.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_workers: Optional[int] = None,
+        runner: Callable = run_experiment,
+        expected: Optional[int] = None,
+    ) -> None:
+        self._max_workers = max_workers
+        self._runner = runner
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._serial = max_workers == 1 or (expected is not None and expected <= 1)
+
+    def map(self, configs: Sequence) -> List:
+        """Run ``configs`` through the runner, in order; reuses live workers."""
+        configs = list(configs)
+        if not configs:
+            return []
+        runner = self._runner
+        if not self._serial:
+            try:
+                # Probe picklability up front (a `scenario` lambda is the
+                # common offender) so that real errors raised *inside* the
+                # runner are never mistaken for multiprocessing limitations.
+                pickle.dumps((runner, configs))
+            except Exception:
+                # This payload cannot cross the process boundary; the next
+                # chunk might, so stay parallel-capable.
+                return [runner(config) for config in configs]
+            try:
+                if self._pool is None:
+                    self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+                return list(self._pool.map(runner, configs))
+            except (BrokenProcessPool, PermissionError, OSError):
+                # No subprocess support (restricted sandbox): run in-process
+                # from here on.
+                self._serial = True
+                self.close()
+        return [runner(config) for config in configs]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            try:
+                pool.shutdown()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "ScenarioPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 def run_scenarios_parallel(
     configs: Sequence,
     *,
@@ -237,24 +307,14 @@ def run_scenarios_parallel(
     Falls back to running serially when multiprocessing is unavailable
     (restricted sandboxes) or when a configuration cannot be pickled (e.g. a
     ``scenario`` lambda); module-level scenario builders keep configurations
-    picklable.
+    picklable.  Callers issuing many small batches should hold a
+    :class:`ScenarioPool` instead, which amortises worker startup.
     """
     configs = list(configs)
-    if len(configs) <= 1 or max_workers == 1:
-        return [runner(config) for config in configs]
-    try:
-        # Probe picklability up front (a `scenario` lambda is the common
-        # offender) so that real errors raised *inside* the runner are
-        # never mistaken for multiprocessing limitations below.
-        pickle.dumps((runner, configs))
-    except Exception:
-        return [runner(config) for config in configs]
-    try:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(runner, configs))
-    except (BrokenProcessPool, PermissionError):
-        # No subprocess support (restricted sandbox): run in-process.
-        return [runner(config) for config in configs]
+    with ScenarioPool(
+        max_workers=max_workers, runner=runner, expected=len(configs)
+    ) as pool:
+        return pool.map(configs)
 
 
 def _guarded_child(conn, runner: Callable, config) -> None:

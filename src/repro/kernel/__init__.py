@@ -1,0 +1,143 @@
+"""Kernel selection facade.
+
+The simulator has two interchangeable kernels:
+
+``python``
+    The pure-Python event loop and transport stack -- always available,
+    the reference implementation.
+``compiled``
+    A hand-written C extension (:mod:`repro.kernel._ckernel`) built lazily
+    with the system compiler.  It provides ``KernelSim`` (a drop-in
+    :class:`~repro.netsim.engine.Simulator`) and a whole-window native
+    bypass for :meth:`Network.run` (see :mod:`repro.kernel.pipeline`).
+    Results are byte-identical to the Python kernel.
+
+Selection is controlled by the ``REPRO_KERNEL`` environment variable:
+
+``auto`` (default)
+    Use the compiled kernel when it builds/loads, silently fall back to
+    Python otherwise.
+``compiled``
+    Require the compiled kernel; raise at first use if it is unavailable.
+``python``
+    Never build or load the extension.
+
+:func:`override` swaps the mode for a ``with`` block (used by the test
+suite to pin both kernels against the same golden files).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Optional, Tuple
+
+__all__ = [
+    "KERNEL_ENV",
+    "active_kernel",
+    "compiled_available",
+    "compiled_module",
+    "kernel_info",
+    "maybe_run_network",
+    "override",
+]
+
+KERNEL_ENV = "REPRO_KERNEL"
+_MODES = ("auto", "compiled", "python")
+
+#: Lazily-populated load result: (module_or_None, reason).  The build is
+#: attempted at most once per process.
+_load_result: Optional[Tuple[Optional[object], str]] = None
+_override_mode: Optional[str] = None
+
+
+def _mode() -> str:
+    if _override_mode is not None:
+        return _override_mode
+    mode = os.environ.get(KERNEL_ENV, "auto").strip().lower() or "auto"
+    if mode not in _MODES:
+        raise ValueError(
+            f"{KERNEL_ENV}={mode!r} is not one of {'|'.join(_MODES)}"
+        )
+    return mode
+
+
+def _load() -> Tuple[Optional[object], str]:
+    global _load_result
+    if _load_result is None:
+        from .build import load_extension
+
+        _load_result = load_extension()
+    return _load_result
+
+
+def compiled_available() -> Tuple[bool, str]:
+    """Whether the compiled kernel can be used, and why not if not."""
+    module, reason = _load()
+    return module is not None, reason
+
+
+def compiled_module():
+    """The loaded extension module for the current mode, or ``None``.
+
+    In ``compiled`` mode an unavailable extension raises so that a
+    hard-pinned run can never silently fall back.
+    """
+    mode = _mode()
+    if mode == "python":
+        return None
+    module, reason = _load()
+    if module is None and mode == "compiled":
+        raise RuntimeError(
+            f"{KERNEL_ENV}=compiled but the compiled kernel is unavailable: {reason}"
+        )
+    return module
+
+
+def active_kernel() -> str:
+    """``"compiled"`` or ``"python"`` -- the kernel in effect right now."""
+    return "compiled" if compiled_module() is not None else "python"
+
+
+def kernel_info() -> dict:
+    """Diagnostic snapshot for ``repro.cli info`` and test reports."""
+    mode = _mode()
+    if mode == "python":
+        module, reason = None, "disabled by REPRO_KERNEL=python"
+    else:
+        module, reason = _load()
+    return {
+        "mode": mode,
+        "kernel": "compiled" if module is not None else "python",
+        "compiled_reason": reason,
+        "extension": getattr(module, "__file__", None),
+    }
+
+
+@contextmanager
+def override(mode: str):
+    """Force the kernel mode within a ``with`` block (tests/benchmarks)."""
+    if mode not in _MODES:
+        raise ValueError(f"unknown kernel mode {mode!r}")
+    global _override_mode
+    previous = _override_mode
+    _override_mode = mode
+    try:
+        yield
+    finally:
+        _override_mode = previous
+
+
+def maybe_run_network(network, until: float) -> Optional[float]:
+    """Native whole-window run of ``network``; None means "use Python".
+
+    The compiled bypass is exact (see :mod:`repro.kernel.pipeline`): on a
+    non-None return the network state matches what the Python event loop
+    would have produced.
+    """
+    ext = compiled_module()
+    if ext is None:
+        return None
+    from .pipeline import run_network
+
+    return run_network(network, until, ext)

@@ -1,0 +1,2805 @@
+/* Compiled kernel for the repro packet-level simulator.
+ *
+ * Two layers live in this extension:
+ *
+ *   KernelSim   -- a drop-in replacement for repro.netsim.engine.Simulator:
+ *                  the (time, seq) calendar heap, the schedule/schedule_fast
+ *                  APIs and the run loop in C, callbacks dispatched through
+ *                  the vectorcall protocol.  Semantics (event ordering,
+ *                  events_processed counting, cancellation, GC pause, error
+ *                  messages) mirror the pure-Python engine exactly.
+ *
+ *   Scene       -- a fully native single-path-TCP pipeline: links, queues,
+ *                  hosts/routers, TCP senders/receivers (SACK, fast
+ *                  recovery, RTO, CUBIC/Reno) and packet captures, driven by
+ *                  an internal event heap without touching a single Python
+ *                  object per event.  repro.kernel.pipeline imports eligible
+ *                  network states into a Scene, runs it, and writes the
+ *                  resulting state back so the Python objects end up
+ *                  byte-identical to what the pure-Python loop would have
+ *                  produced.
+ *
+ * Byte-identity ground rules (keep in sync with the Python modules):
+ *   - every float expression copies the Python operation order verbatim;
+ *   - ** 3 and ** (1.0/3.0) become libm pow() (CPython float_pow does the
+ *     same), never x*x*x or cbrt();
+ *   - min()/max() pick the same operand Python would, which is value-equal
+ *     for doubles, so plain comparisons suffice;
+ *   - sequence numbers are consumed at exactly the same call sites as the
+ *     Python hot path (including the raw heap pushes inlined in link.py).
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+#include <math.h>
+#include <string.h>
+#include <stdint.h>
+
+/* ------------------------------------------------------------------ errors */
+
+static PyObject *SimulationErrorType = NULL;
+
+static int
+load_error_types(void)
+{
+    if (SimulationErrorType != NULL)
+        return 0;
+    PyObject *mod = PyImport_ImportModule("repro.errors");
+    if (mod == NULL)
+        return -1;
+    SimulationErrorType = PyObject_GetAttrString(mod, "SimulationError");
+    Py_DECREF(mod);
+    return SimulationErrorType == NULL ? -1 : 0;
+}
+
+static void
+raise_sim_error_obj(PyObject *msg)
+{
+    if (msg == NULL)
+        return;
+    if (load_error_types() < 0) {
+        Py_DECREF(msg);
+        return;
+    }
+    PyErr_SetObject(SimulationErrorType, msg);
+    Py_DECREF(msg);
+}
+
+/* ------------------------------------------------------------- KernelEvent */
+
+typedef struct {
+    PyObject_HEAD
+    double t;
+    int64_t seq;
+    char cancelled;
+    char fired;
+} KernelEventObject;
+
+static PyTypeObject KernelEventType;
+
+static PyObject *
+kevent_cancel(KernelEventObject *self, PyObject *Py_UNUSED(ignored))
+{
+    self->cancelled = 1;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+kevent_get_time(KernelEventObject *self, void *closure)
+{
+    return PyFloat_FromDouble(self->fired ? 0.0 : self->t);
+}
+
+static PyObject *
+kevent_get_seq(KernelEventObject *self, void *closure)
+{
+    return PyLong_FromLongLong((long long)self->seq);
+}
+
+static PyObject *
+kevent_get_cancelled(KernelEventObject *self, void *closure)
+{
+    return PyBool_FromLong(self->cancelled);
+}
+
+static PyObject *
+kevent_repr(KernelEventObject *self)
+{
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%.6f", self->t);
+    return PyUnicode_FromFormat(
+        "KernelEvent(t=%s, seq=%lld, %s)", buf, (long long)self->seq,
+        self->cancelled ? "cancelled" : (self->fired ? "fired" : "pending"));
+}
+
+static PyMethodDef kevent_methods[] = {
+    {"cancel", (PyCFunction)kevent_cancel, METH_NOARGS,
+     "Mark the event as cancelled; it will not run."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyGetSetDef kevent_getset[] = {
+    {"time", (getter)kevent_get_time, NULL, "Scheduled fire time (0.0 once fired).", NULL},
+    {"seq", (getter)kevent_get_seq, NULL, "Sequence number of the underlying entry.", NULL},
+    {"cancelled", (getter)kevent_get_cancelled, NULL, "Whether cancel() was called.", NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyTypeObject KernelEventType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.kernel._ckernel.KernelEvent",
+    .tp_basicsize = sizeof(KernelEventObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT,
+    .tp_doc = "Cancellation handle returned by KernelSim.schedule/schedule_at.",
+    .tp_repr = (reprfunc)kevent_repr,
+    .tp_methods = kevent_methods,
+    .tp_getset = kevent_getset,
+};
+
+static KernelEventObject *
+kevent_new(double t, int64_t seq)
+{
+    KernelEventObject *ev = PyObject_New(KernelEventObject, &KernelEventType);
+    if (ev == NULL)
+        return NULL;
+    ev->t = t;
+    ev->seq = seq;
+    ev->cancelled = 0;
+    ev->fired = 0;
+    return ev;
+}
+
+/* --------------------------------------------------------------- KernelSim */
+
+#define KSIM_INLINE_ARGS 3
+
+typedef struct {
+    double t;
+    int64_t seq;
+    PyObject *cb;               /* NULL = cancelled at creation */
+    PyObject *args;             /* owned tuple when nargs == -1 */
+    PyObject *a[KSIM_INLINE_ARGS]; /* owned inline args when nargs >= 0 */
+    int nargs;                  /* -1: use args tuple; >= 0: inline count */
+    KernelEventObject *handle;  /* owned, may be NULL */
+} KEntry;
+
+typedef struct {
+    PyObject_HEAD
+    double now;
+    int64_t events_processed;
+    int64_t seq;
+    KEntry *heap;
+    Py_ssize_t heap_len;
+    Py_ssize_t heap_cap;
+    char running;
+    char stopped;
+} KernelSimObject;
+
+#define KLESS(x, y) ((x).t < (y).t || ((x).t == (y).t && (x).seq < (y).seq))
+
+static void
+kentry_clear(KEntry *e)
+{
+    Py_XDECREF(e->cb);
+    Py_XDECREF(e->args);
+    if (e->nargs > 0) {
+        for (int i = 0; i < e->nargs; i++)
+            Py_XDECREF(e->a[i]);
+    }
+    if (e->handle != NULL) {
+        e->handle->fired = 1;
+        Py_DECREF(e->handle);
+    }
+    e->cb = NULL;
+    e->args = NULL;
+    e->nargs = 0;
+    e->handle = NULL;
+}
+
+static int
+kheap_reserve(KernelSimObject *self, Py_ssize_t need)
+{
+    if (need <= self->heap_cap)
+        return 0;
+    Py_ssize_t cap = self->heap_cap ? self->heap_cap : 64;
+    while (cap < need)
+        cap *= 2;
+    KEntry *heap = (KEntry *)PyMem_Realloc(self->heap, cap * sizeof(KEntry));
+    if (heap == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    self->heap = heap;
+    self->heap_cap = cap;
+    return 0;
+}
+
+static void
+kheap_push(KernelSimObject *self, KEntry entry)
+{
+    /* Caller must have reserved space. */
+    KEntry *h = self->heap;
+    Py_ssize_t pos = self->heap_len++;
+    while (pos > 0) {
+        Py_ssize_t parent = (pos - 1) >> 1;
+        if (!KLESS(entry, h[parent]))
+            break;
+        h[pos] = h[parent];
+        pos = parent;
+    }
+    h[pos] = entry;
+}
+
+static KEntry
+kheap_pop(KernelSimObject *self)
+{
+    KEntry *h = self->heap;
+    KEntry top = h[0];
+    Py_ssize_t n = --self->heap_len;
+    if (n > 0) {
+        KEntry last = h[n];
+        Py_ssize_t pos = 0;
+        for (;;) {
+            Py_ssize_t child = 2 * pos + 1;
+            if (child >= n)
+                break;
+            if (child + 1 < n && KLESS(h[child + 1], h[child]))
+                child += 1;
+            if (!KLESS(h[child], last))
+                break;
+            h[pos] = h[child];
+            pos = child;
+        }
+        h[pos] = last;
+    }
+    return top;
+}
+
+static PyObject *
+ksim_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    KernelSimObject *self = (KernelSimObject *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    self->now = 0.0;
+    self->events_processed = 0;
+    self->seq = 0;
+    self->heap = NULL;
+    self->heap_len = 0;
+    self->heap_cap = 0;
+    self->running = 0;
+    self->stopped = 0;
+    return (PyObject *)self;
+}
+
+static void
+ksim_dealloc(KernelSimObject *self)
+{
+    for (Py_ssize_t i = 0; i < self->heap_len; i++)
+        kentry_clear(&self->heap[i]);
+    PyMem_Free(self->heap);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+/* Shared push: builds the entry from (t, callback, args...) and pushes it.
+ * make_handle: return a KernelEvent (schedule/schedule_at) or None. */
+static PyObject *
+ksim_push_event(KernelSimObject *self, double t, PyObject *cb,
+                PyObject *const *extra, Py_ssize_t nextra, int make_handle)
+{
+    if (kheap_reserve(self, self->heap_len + 1) < 0)
+        return NULL;
+    KEntry e;
+    e.t = t;
+    e.seq = self->seq;
+    e.cb = Py_NewRef(cb);
+    e.args = NULL;
+    e.handle = NULL;
+    if (nextra <= KSIM_INLINE_ARGS) {
+        e.nargs = (int)nextra;
+        for (Py_ssize_t i = 0; i < nextra; i++)
+            e.a[i] = Py_NewRef(extra[i]);
+    }
+    else {
+        e.nargs = -1;
+        e.args = PyTuple_New(nextra);
+        if (e.args == NULL) {
+            Py_DECREF(e.cb);
+            return NULL;
+        }
+        for (Py_ssize_t i = 0; i < nextra; i++)
+            PyTuple_SET_ITEM(e.args, i, Py_NewRef(extra[i]));
+    }
+    PyObject *result;
+    if (make_handle) {
+        KernelEventObject *ev = kevent_new(t, e.seq);
+        if (ev == NULL) {
+            kentry_clear(&e);
+            return NULL;
+        }
+        e.handle = (KernelEventObject *)Py_NewRef((PyObject *)ev);
+        result = (PyObject *)ev;
+    }
+    else {
+        result = Py_NewRef(Py_None);
+    }
+    self->seq += 1;
+    kheap_push(self, e);
+    return result;
+}
+
+static PyObject *
+ksim_schedule_common(KernelSimObject *self, PyObject *const *args,
+                     Py_ssize_t nargs, int absolute, int make_handle,
+                     const char *name)
+{
+    if (nargs < 2) {
+        PyErr_Format(PyExc_TypeError, "%s() requires a delay and a callback", name);
+        return NULL;
+    }
+    double value = PyFloat_AsDouble(args[0]);
+    if (value == -1.0 && PyErr_Occurred())
+        return NULL;
+    double t;
+    if (absolute) {
+        if (value < self->now) {
+            PyObject *now_obj = PyFloat_FromDouble(self->now);
+            if (now_obj == NULL)
+                return NULL;
+            PyObject *msg = PyUnicode_FromFormat(
+                "cannot schedule an event at t=%S before the current time t=%S",
+                args[0], now_obj);
+            Py_DECREF(now_obj);
+            raise_sim_error_obj(msg);
+            return NULL;
+        }
+        t = value;
+    }
+    else {
+        if (value < 0) {
+            PyObject *msg = PyUnicode_FromFormat(
+                "cannot schedule an event %S seconds in the past", args[0]);
+            raise_sim_error_obj(msg);
+            return NULL;
+        }
+        t = self->now + value;
+    }
+    return ksim_push_event(self, t, args[1], args + 2, nargs - 2, make_handle);
+}
+
+static PyObject *
+ksim_schedule(KernelSimObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    return ksim_schedule_common(self, args, nargs, 0, 1, "schedule");
+}
+
+static PyObject *
+ksim_schedule_at(KernelSimObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    return ksim_schedule_common(self, args, nargs, 1, 1, "schedule_at");
+}
+
+static PyObject *
+ksim_schedule_fast(KernelSimObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    return ksim_schedule_common(self, args, nargs, 0, 0, "schedule_fast");
+}
+
+static PyObject *
+ksim_schedule_fast_at(KernelSimObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    return ksim_schedule_common(self, args, nargs, 1, 0, "schedule_fast_at");
+}
+
+static PyObject *
+ksim_cancel(KernelSimObject *self, PyObject *event)
+{
+    if (event == Py_None)
+        Py_RETURN_NONE;
+    if (Py_IS_TYPE(event, &KernelEventType)) {
+        ((KernelEventObject *)event)->cancelled = 1;
+        Py_RETURN_NONE;
+    }
+    PyObject *res = PyObject_CallMethod(event, "cancel", NULL);
+    if (res == NULL)
+        return NULL;
+    Py_DECREF(res);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+ksim_stop(KernelSimObject *self, PyObject *Py_UNUSED(ignored))
+{
+    self->stopped = 1;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+ksim_run(KernelSimObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"until", "max_events", NULL};
+    PyObject *until_obj = Py_None;
+    PyObject *max_obj = Py_None;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|OO", kwlist, &until_obj, &max_obj))
+        return NULL;
+    int have_until = until_obj != Py_None;
+    int have_max = max_obj != Py_None;
+    double until = 0.0;
+    long long max_events = 0;
+    if (have_until) {
+        until = PyFloat_AsDouble(until_obj);
+        if (until == -1.0 && PyErr_Occurred())
+            return NULL;
+    }
+    if (have_max) {
+        max_events = PyLong_AsLongLong(max_obj);
+        if (max_events == -1 && PyErr_Occurred())
+            return NULL;
+    }
+    if (self->running) {
+        PyObject *msg = PyUnicode_FromString("Simulator.run() is not reentrant");
+        raise_sim_error_obj(msg);
+        return NULL;
+    }
+    self->running = 1;
+    self->stopped = 0;
+    int gc_was_enabled = PyGC_IsEnabled();
+    if (gc_was_enabled)
+        PyGC_Disable();
+    long long processed = 0;
+    int ok = 1;
+    while (self->heap_len > 0) {
+        KEntry *top = &self->heap[0];
+        int cancelled = (top->cb == NULL) ||
+                        (top->handle != NULL && top->handle->cancelled);
+        if (cancelled) {
+            KEntry e = kheap_pop(self);
+            kentry_clear(&e);
+            continue;
+        }
+        if (have_until && top->t > until)
+            break;
+        KEntry e = kheap_pop(self);
+        self->now = e.t;
+        PyObject *res;
+        if (e.nargs >= 0)
+            res = PyObject_Vectorcall(e.cb, e.a, (size_t)e.nargs, NULL);
+        else
+            res = PyObject_CallObject(e.cb, e.args);
+        if (res == NULL) {
+            kentry_clear(&e);
+            ok = 0;
+            break;
+        }
+        Py_DECREF(res);
+        processed += 1;
+        kentry_clear(&e);
+        if (self->stopped)
+            break;
+        if (have_max && processed >= max_events)
+            break;
+    }
+    self->running = 0;
+    self->events_processed += processed;
+    if (gc_was_enabled)
+        PyGC_Enable();
+    if (!ok)
+        return NULL;
+    if (have_until && !self->stopped && self->now < until)
+        self->now = until;
+    return PyFloat_FromDouble(self->now);
+}
+
+static PyObject *
+ksim_get_pending(KernelSimObject *self, void *closure)
+{
+    return PyLong_FromSsize_t(self->heap_len);
+}
+
+static PyObject *
+ksim_get_free_list(KernelSimObject *self, void *closure)
+{
+    return PyLong_FromLong(0);
+}
+
+static PyObject *
+ksim_get_running(KernelSimObject *self, void *closure)
+{
+    return PyBool_FromLong(self->running);
+}
+
+static PyObject *
+ksim_get_stopped(KernelSimObject *self, void *closure)
+{
+    return PyBool_FromLong(self->stopped);
+}
+
+static PyObject *
+ksim_repr(KernelSimObject *self)
+{
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%.6f", self->now);
+    return PyUnicode_FromFormat("KernelSim(now=%s, pending=%zd)", buf, self->heap_len);
+}
+
+/* ---- pipeline support: heap import/export on a KernelSim ---- */
+
+static PyObject *
+ksim_export_entries(KernelSimObject *self, PyObject *Py_UNUSED(ignored))
+{
+    PyObject *out = PyList_New(self->heap_len);
+    if (out == NULL)
+        return NULL;
+    for (Py_ssize_t i = 0; i < self->heap_len; i++) {
+        KEntry *e = &self->heap[i];
+        int cancelled = (e->cb == NULL) ||
+                        (e->handle != NULL && e->handle->cancelled);
+        PyObject *cb;
+        PyObject *tup_args;
+        if (cancelled) {
+            cb = Py_NewRef(Py_None);
+            tup_args = PyTuple_New(0);
+        }
+        else {
+            cb = Py_NewRef(e->cb);
+            if (e->nargs >= 0) {
+                tup_args = PyTuple_New(e->nargs);
+                if (tup_args != NULL) {
+                    for (int j = 0; j < e->nargs; j++)
+                        PyTuple_SET_ITEM(tup_args, j, Py_NewRef(e->a[j]));
+                }
+            }
+            else {
+                tup_args = Py_NewRef(e->args);
+            }
+        }
+        if (tup_args == NULL) {
+            Py_DECREF(cb);
+            Py_DECREF(out);
+            return NULL;
+        }
+        PyObject *item = Py_BuildValue("(dLNN)", e->t, (long long)e->seq, cb, tup_args);
+        if (item == NULL) {
+            Py_DECREF(out);
+            return NULL;
+        }
+        PyList_SET_ITEM(out, i, item);
+    }
+    return out;
+}
+
+static PyObject *
+ksim_clear_pending(KernelSimObject *self, PyObject *Py_UNUSED(ignored))
+{
+    for (Py_ssize_t i = 0; i < self->heap_len; i++)
+        kentry_clear(&self->heap[i]);
+    self->heap_len = 0;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+ksim_push_entry(KernelSimObject *self, PyObject *args)
+{
+    double t;
+    long long seq;
+    PyObject *cb;
+    PyObject *cb_args;
+    if (!PyArg_ParseTuple(args, "dLOO!", &t, &seq, &cb, &PyTuple_Type, &cb_args))
+        return NULL;
+    if (kheap_reserve(self, self->heap_len + 1) < 0)
+        return NULL;
+    KEntry e;
+    e.t = t;
+    e.seq = (int64_t)seq;
+    e.args = NULL;
+    e.nargs = 0;
+    e.handle = NULL;
+    if (cb == Py_None) {
+        e.cb = NULL;
+        kheap_push(self, e);
+        Py_RETURN_NONE;
+    }
+    e.cb = Py_NewRef(cb);
+    Py_ssize_t n = PyTuple_GET_SIZE(cb_args);
+    if (n <= KSIM_INLINE_ARGS) {
+        e.nargs = (int)n;
+        for (Py_ssize_t i = 0; i < n; i++)
+            e.a[i] = Py_NewRef(PyTuple_GET_ITEM(cb_args, i));
+    }
+    else {
+        e.nargs = -1;
+        e.args = Py_NewRef(cb_args);
+    }
+    KernelEventObject *ev = kevent_new(t, e.seq);
+    if (ev == NULL) {
+        kentry_clear(&e);
+        return NULL;
+    }
+    e.handle = (KernelEventObject *)Py_NewRef((PyObject *)ev);
+    kheap_push(self, e);
+    return (PyObject *)ev;
+}
+
+static PyObject *
+ksim_advance(KernelSimObject *self, PyObject *args)
+{
+    double now;
+    long long seq;
+    long long processed;
+    if (!PyArg_ParseTuple(args, "dLL", &now, &seq, &processed))
+        return NULL;
+    self->now = now;
+    self->seq = (int64_t)seq;
+    self->events_processed += processed;
+    Py_RETURN_NONE;
+}
+
+static PyMemberDef ksim_members[] = {
+    {"now", T_DOUBLE, offsetof(KernelSimObject, now), 0,
+     "Current simulation time in seconds."},
+    {"events_processed", T_LONGLONG, offsetof(KernelSimObject, events_processed), 0,
+     "Number of callbacks executed by completed run() calls."},
+    {"_seq", T_LONGLONG, offsetof(KernelSimObject, seq), 0,
+     "Next event sequence number."},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyMethodDef ksim_methods[] = {
+    {"schedule", (PyCFunction)(void (*)(void))ksim_schedule, METH_FASTCALL,
+     "Schedule callback(*args) delay seconds from now; returns a handle."},
+    {"schedule_at", (PyCFunction)(void (*)(void))ksim_schedule_at, METH_FASTCALL,
+     "Schedule callback(*args) at an absolute time; returns a handle."},
+    {"schedule_fast", (PyCFunction)(void (*)(void))ksim_schedule_fast, METH_FASTCALL,
+     "Fire-and-forget fast path: no cancellation handle is created."},
+    {"schedule_fast_at", (PyCFunction)(void (*)(void))ksim_schedule_fast_at, METH_FASTCALL,
+     "Absolute-time variant of schedule_fast()."},
+    {"cancel", (PyCFunction)ksim_cancel, METH_O,
+     "Cancel event if it is not None and has not yet fired."},
+    {"stop", (PyCFunction)ksim_stop, METH_NOARGS,
+     "Stop the run loop after the current event finishes."},
+    {"run", (PyCFunction)(void (*)(void))ksim_run, METH_VARARGS | METH_KEYWORDS,
+     "Run the event loop; returns the simulation time when it stopped."},
+    {"_export_entries", (PyCFunction)ksim_export_entries, METH_NOARGS,
+     "Pending heap entries as (t, seq, callback_or_None, args) tuples."},
+    {"_clear_pending", (PyCFunction)ksim_clear_pending, METH_NOARGS,
+     "Drop every pending heap entry (pipeline import support)."},
+    {"_push_entry", (PyCFunction)ksim_push_entry, METH_VARARGS,
+     "Push an entry with an explicit sequence number; returns its handle."},
+    {"_advance", (PyCFunction)ksim_advance, METH_VARARGS,
+     "Set (now, seq) and add a processed-events delta (pipeline support)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyGetSetDef ksim_getset[] = {
+    {"pending_events", (getter)ksim_get_pending, NULL,
+     "Number of events still in the heap (including cancelled ones).", NULL},
+    {"free_list_size", (getter)ksim_get_free_list, NULL,
+     "Always 0: the compiled heap stores entries by value.", NULL},
+    {"_running", (getter)ksim_get_running, NULL, NULL, NULL},
+    {"_stopped", (getter)ksim_get_stopped, NULL, NULL, NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyTypeObject KernelSimType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.kernel._ckernel.KernelSim",
+    .tp_basicsize = sizeof(KernelSimObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT,
+    .tp_doc = "Compiled drop-in for repro.netsim.engine.Simulator.",
+    .tp_new = ksim_new,
+    .tp_dealloc = (destructor)ksim_dealloc,
+    .tp_repr = (reprfunc)ksim_repr,
+    .tp_members = ksim_members,
+    .tp_methods = ksim_methods,
+    .tp_getset = ksim_getset,
+};
+
+/* ------------------------------------------------------------------- Scene
+ *
+ * A fully native single-path TCP pipeline.  repro.kernel.pipeline builds a
+ * Scene from an eligible Network (quiescent start: idle links, empty send
+ * windows, only sender-start and cancelled events pending), runs it to the
+ * horizon, and writes every counter, window, queue and pending event back
+ * into the Python objects.  All the protocol logic below mirrors the Python
+ * hot path statement by statement; see the module docstring for the
+ * float-identity rules.
+ */
+
+enum { EV_DELIVER = 0, EV_SERVE = 1, EV_RTO = 2, EV_START = 3, EV_CANCELLED = 4 };
+enum { CC_RENO = 0, CC_CUBIC = 1 };
+enum { AGENT_SENDER = 0, AGENT_RECEIVER = 1 };
+
+typedef struct {
+    double t;
+    int64_t seq;
+    int32_t kind;
+    int32_t idx;
+} PEv;
+
+typedef struct {
+    int32_t src, dst;           /* node indices */
+    int64_t size, tag, flow, subflow, seq, payload, ack, dsn, dack, hops;
+    double ts_echo, created_at, enqueued_at;
+    int8_t is_ack, is_retx;
+    int32_t nsack;              /* SACK blocks: nsack pairs in sack[] */
+    int64_t sack[8];
+    int32_t next_free;
+} CPkt;
+
+typedef struct { int64_t enq, deq, dropped, bytes_enq, bytes_drop, max_depth; } QStats;
+typedef struct { int64_t pkts_sent, bytes_sent, pkts_dropped; double busy_time; } LStats;
+typedef struct { int64_t received, forwarded, delivered, routing_drops; } NStats;
+
+typedef struct {
+    int32_t *buf;
+    int32_t head, len, cap;
+} Ring;
+
+typedef struct {
+    int32_t src, dst;
+    double rate_bps, delay;
+    double busy_until, serve_at;
+    int8_t serving;
+    LStats stats;
+    QStats qstats;
+    int64_t qbytes;
+    int64_t qcap;
+    Ring q;
+    Ring fl;
+} CLink;
+
+typedef struct { int32_t dst; int64_t tag; int32_t link; int64_t hits; } FwdEnt;
+typedef struct { int64_t flow, subflow; int32_t kind, idx; } AgentEnt;
+
+typedef struct {
+    int8_t is_host;
+    NStats stats;
+    FwdEnt *fwd; int32_t nfwd, fwdcap;
+    AgentEnt *agents; int32_t nagents, agcap;
+    int32_t *caps; int32_t ncaps, capscap;
+} CNode;
+
+typedef struct {
+    int64_t seq, length, dsn;
+    double sent_at;
+    int8_t retransmitted, sacked, lost, lost_pending, retx_in_recovery;
+} CSeg;
+
+typedef struct {
+    CSeg *buf;
+    int32_t head, len, cap;
+} SegRing;
+
+typedef struct {
+    int32_t host, dst_node;
+    int64_t flow, subflow, tag;     /* tag -1 == None */
+    int32_t route_link;
+    int64_t mss;
+    /* BulkDataAdapter */
+    int64_t total_bytes;            /* -1 == unbounded */
+    int64_t offset, prov_acked;
+    double prov_last_ack;
+    /* RttEstimator */
+    double alpha, beta, min_rto, max_rto;
+    double srtt, rttvar, rtt_min, latest;
+    int8_t has_srtt, has_min, has_latest;
+    int64_t samples;
+    double rto_cache;
+    /* congestion control */
+    int8_t cc_kind;
+    int64_t cc_mss;
+    double cwnd, ssthresh, cc_srtt;
+    int64_t losses, cc_timeouts, acked_total;
+    int8_t fast_conv, tcp_friendly, hystart;
+    double w_max, k, epoch_start, w_est, acks_in_epoch, cc_min_rtt;
+    int8_t has_epoch, has_cc_min;
+    /* window state */
+    int64_t snd_una, snd_nxt;
+    SegRing segs;
+    int64_t sacked_bytes, lost_pending_bytes;
+    int64_t dupacks;
+    int8_t in_recovery;
+    int64_t recover;
+    int8_t rto_live;
+    int64_t rto_seq;
+    double rto_deadline, rto_fire_at, rto_backoff;
+    int8_t started, closed;
+    /* SenderStats */
+    int64_t st_segments_sent, st_bytes_sent, st_bytes_acked, st_retrans,
+            st_fast_retrans, st_timeouts, st_dupacks;
+} CSender;
+
+typedef struct { int64_t seq, length, dsn; } OooEnt;
+
+typedef struct {
+    int32_t host, peer_node;
+    int64_t flow, subflow, tag;
+    int32_t route_link;
+    int64_t ack_size;
+    int64_t rcv_nxt, last_dack;
+    OooEnt *ooo; int32_t nooo, ooocap;
+    /* ReceiverStats */
+    int64_t st_segs, st_bytes, st_dups, st_ooo, st_acks;
+} CRecv;
+
+typedef struct {
+    int8_t data_only, has_filter;
+    int64_t filter;
+    double *c_time;
+    int64_t *c_size, *c_payload, *c_tag, *c_flow, *c_sub, *c_seq, *c_dsn;
+    int8_t *c_flags;
+    int32_t n, cap;
+} CCap;
+
+typedef struct {
+    PyObject_HEAD
+    double now;
+    int64_t seq;
+    int64_t processed;
+    int64_t header_size;
+    /* Mirror of the Python simulator's entry free list *length* (the pool
+     * holds recycled heap entries; only its size is observable).  Appends
+     * and pops are replayed at the same points as the Python run loop. */
+    int64_t pool_len, pool_cap;
+    int8_t running;
+    PEv *heap; Py_ssize_t hlen, hcap;
+    CPkt *arena; int32_t acap, a_used, free_head;
+    CLink *links; int32_t nlinks, lcap;
+    CNode *nodes; int32_t nnodes, nodecap;
+    CSender *snds; int32_t nsnd, sndcap;
+    CRecv *rcvs; int32_t nrcv, rcvcap;
+    CCap *caps; int32_t ncaps, capcap;
+} SceneObject;
+
+/* ---- tiny helpers ---- */
+
+static int
+scene_err(const char *msg)
+{
+    PyErr_SetString(PyExc_RuntimeError, msg);
+    return -1;
+}
+
+static int64_t
+dget_ll(PyObject *d, const char *k, int *err)
+{
+    PyObject *v = PyDict_GetItemString(d, k);
+    if (v == NULL) {
+        PyErr_Format(PyExc_KeyError, "scene import missing key %s", k);
+        *err = 1;
+        return 0;
+    }
+    long long r = PyLong_AsLongLong(v);
+    if (r == -1 && PyErr_Occurred()) {
+        *err = 1;
+        return 0;
+    }
+    return (int64_t)r;
+}
+
+static double
+dget_d(PyObject *d, const char *k, int *err)
+{
+    PyObject *v = PyDict_GetItemString(d, k);
+    if (v == NULL) {
+        PyErr_Format(PyExc_KeyError, "scene import missing key %s", k);
+        *err = 1;
+        return 0.0;
+    }
+    double r = PyFloat_AsDouble(v);
+    if (r == -1.0 && PyErr_Occurred()) {
+        *err = 1;
+        return 0.0;
+    }
+    return r;
+}
+
+#define GROW(ptr, count, cap, type, start)                                  \
+    do {                                                                    \
+        if ((count) == (cap)) {                                             \
+            int32_t newcap__ = (cap) ? (cap) * 2 : (start);                 \
+            type *p__ = (type *)PyMem_Realloc((ptr), (size_t)newcap__ * sizeof(type)); \
+            if (p__ == NULL) { PyErr_NoMemory(); return -1; }               \
+            (ptr) = p__;                                                    \
+            (cap) = newcap__;                                               \
+        }                                                                   \
+    } while (0)
+
+/* ---- rings ---- */
+
+static int
+ring_push(Ring *r, int32_t v)
+{
+    if (r->len == r->cap) {
+        int32_t cap = r->cap ? r->cap * 2 : 16;
+        int32_t *buf = (int32_t *)PyMem_Malloc((size_t)cap * sizeof(int32_t));
+        if (buf == NULL) { PyErr_NoMemory(); return -1; }
+        for (int32_t i = 0; i < r->len; i++)
+            buf[i] = r->buf[(r->head + i) % (r->cap ? r->cap : 1)];
+        PyMem_Free(r->buf);
+        r->buf = buf;
+        r->cap = cap;
+        r->head = 0;
+    }
+    r->buf[(r->head + r->len) % r->cap] = v;
+    r->len += 1;
+    return 0;
+}
+
+static int32_t
+ring_pop(Ring *r)
+{
+    int32_t v = r->buf[r->head];
+    r->head = (r->head + 1) % r->cap;
+    r->len -= 1;
+    return v;
+}
+
+static int32_t
+ring_get(const Ring *r, int32_t i)
+{
+    return r->buf[(r->head + i) % r->cap];
+}
+
+static int
+segring_push(SegRing *r, CSeg seg)
+{
+    if (r->len == r->cap) {
+        int32_t cap = r->cap ? r->cap * 2 : 32;
+        CSeg *buf = (CSeg *)PyMem_Malloc((size_t)cap * sizeof(CSeg));
+        if (buf == NULL) { PyErr_NoMemory(); return -1; }
+        for (int32_t i = 0; i < r->len; i++)
+            buf[i] = r->buf[(r->head + i) % (r->cap ? r->cap : 1)];
+        PyMem_Free(r->buf);
+        r->buf = buf;
+        r->cap = cap;
+        r->head = 0;
+    }
+    r->buf[(r->head + r->len) % r->cap] = seg;
+    r->len += 1;
+    return 0;
+}
+
+static void
+segring_popleft(SegRing *r)
+{
+    r->head = (r->head + 1) % r->cap;
+    r->len -= 1;
+}
+
+static CSeg *
+seg_at(SegRing *r, int32_t i)
+{
+    return &r->buf[(r->head + i) % r->cap];
+}
+
+/* Segments are kept in ascending-seq order (appended at snd_nxt, retired as
+ * a prefix), so dict lookups become a binary search. */
+static int32_t
+seg_find(SegRing *r, int64_t seq)
+{
+    int32_t lo = 0, hi = r->len - 1;
+    while (lo <= hi) {
+        int32_t mid = (lo + hi) / 2;
+        int64_t v = seg_at(r, mid)->seq;
+        if (v == seq)
+            return mid;
+        if (v < seq)
+            lo = mid + 1;
+        else
+            hi = mid - 1;
+    }
+    return -1;
+}
+
+/* ---- event heap ---- */
+
+#define PLESS(x, y) ((x).t < (y).t || ((x).t == (y).t && (x).seq < (y).seq))
+
+static int
+ev_push(SceneObject *s, double t, int64_t seq, int32_t kind, int32_t idx)
+{
+    /* Every schedule during the run pops a recycled entry when the Python
+     * pool is non-empty (build-time pushes import pre-existing entries). */
+    if (s->running && s->pool_len > 0)
+        s->pool_len -= 1;
+    if (s->hlen == s->hcap) {
+        Py_ssize_t cap = s->hcap ? s->hcap * 2 : 64;
+        PEv *heap = (PEv *)PyMem_Realloc(s->heap, (size_t)cap * sizeof(PEv));
+        if (heap == NULL) { PyErr_NoMemory(); return -1; }
+        s->heap = heap;
+        s->hcap = cap;
+    }
+    PEv e = {t, seq, kind, idx};
+    PEv *h = s->heap;
+    Py_ssize_t pos = s->hlen++;
+    while (pos > 0) {
+        Py_ssize_t parent = (pos - 1) >> 1;
+        if (!PLESS(e, h[parent]))
+            break;
+        h[pos] = h[parent];
+        pos = parent;
+    }
+    h[pos] = e;
+    return 0;
+}
+
+static PEv
+ev_pop(SceneObject *s)
+{
+    PEv *h = s->heap;
+    PEv top = h[0];
+    Py_ssize_t n = --s->hlen;
+    if (n > 0) {
+        PEv last = h[n];
+        Py_ssize_t pos = 0;
+        for (;;) {
+            Py_ssize_t child = 2 * pos + 1;
+            if (child >= n)
+                break;
+            if (child + 1 < n && PLESS(h[child + 1], h[child]))
+                child += 1;
+            if (!PLESS(h[child], last))
+                break;
+            h[pos] = h[child];
+            pos = child;
+        }
+        h[pos] = last;
+    }
+    return top;
+}
+
+/* ---- packet arena ---- */
+
+static int32_t
+pkt_alloc(SceneObject *s)
+{
+    if (s->free_head >= 0) {
+        int32_t i = s->free_head;
+        s->free_head = s->arena[i].next_free;
+        return i;
+    }
+    if (s->a_used == s->acap) {
+        int32_t cap = s->acap ? s->acap * 2 : 256;
+        CPkt *a = (CPkt *)PyMem_Realloc(s->arena, (size_t)cap * sizeof(CPkt));
+        if (a == NULL) { PyErr_NoMemory(); return -1; }
+        s->arena = a;
+        s->acap = cap;
+    }
+    return s->a_used++;
+}
+
+static void
+pkt_free(SceneObject *s, int32_t i)
+{
+    s->arena[i].next_free = s->free_head;
+    s->free_head = i;
+}
+
+/* ---- RttEstimator.update ---- */
+
+static void
+rtt_update(CSender *S, double sample)
+{
+    S->latest = sample;
+    S->has_latest = 1;
+    S->samples += 1;
+    if (!S->has_min || sample < S->rtt_min) {
+        S->rtt_min = sample;
+        S->has_min = 1;
+    }
+    double srtt, rttvar;
+    if (!S->has_srtt) {
+        S->srtt = srtt = sample;
+        S->rttvar = rttvar = sample / 2.0;
+        S->has_srtt = 1;
+    }
+    else {
+        double diff = S->srtt - sample;
+        if (diff < 0)
+            diff = -diff;
+        S->rttvar = rttvar = (1.0 - S->beta) * S->rttvar + S->beta * diff;
+        S->srtt = srtt = (1.0 - S->alpha) * S->srtt + S->alpha * sample;
+    }
+    double dev = 4.0 * rttvar;
+    double rto = srtt + (dev > 0.0001 ? dev : 0.0001);
+    double x = rto > S->min_rto ? rto : S->min_rto;
+    S->rto_cache = x < S->max_rto ? x : S->max_rto;
+}
+
+/* ---- congestion control ---- */
+
+static void
+cubic_congestion_avoidance(CSender *S, double acked_segments, double srtt, double now)
+{
+    double rtt = srtt > 1e-4 ? srtt : 1e-4;
+    if (!S->has_epoch) {
+        S->epoch_start = now;
+        S->has_epoch = 1;
+        if (S->cwnd < S->w_max)
+            S->k = pow((S->w_max - S->cwnd) / 0.4, 1.0 / 3.0);
+        else {
+            S->k = 0.0;
+            S->w_max = S->cwnd;
+        }
+        S->w_est = S->cwnd;
+        S->acks_in_epoch = 0.0;
+    }
+    S->acks_in_epoch += acked_segments;
+    double t = now - S->epoch_start;
+    double target = S->w_max + 0.4 * pow(t + rtt - S->k, 3.0);
+    double increment;
+    if (target > S->cwnd) {
+        double step = (target - S->cwnd) / S->cwnd;
+        if (step > 0.5)
+            step = 0.5;
+        increment = step * acked_segments;
+    }
+    else {
+        increment = acked_segments / (100.0 * S->cwnd);
+    }
+    S->cwnd += increment;
+    if (S->tcp_friendly) {
+        S->w_est = S->w_max * 0.7 + (3.0 * (1.0 - 0.7) / (1.0 + 0.7)) * (t / rtt);
+        if (S->cwnd < S->w_est)
+            S->cwnd = S->w_est;
+    }
+}
+
+static void
+cc_on_ack(CSender *S, int64_t acked_bytes, double srtt, double now)
+{
+    if (acked_bytes <= 0)
+        return;
+    if (S->cc_kind == CC_CUBIC && srtt > 0) {
+        if (!S->has_cc_min || srtt < S->cc_min_rtt) {
+            S->cc_min_rtt = srtt;
+            S->has_cc_min = 1;
+        }
+        if (S->hystart && S->cwnd < S->ssthresh &&
+            srtt > S->cc_min_rtt * 1.125 + 0.002) {
+            S->ssthresh = S->cwnd > 2.0 ? S->cwnd : 2.0;
+        }
+    }
+    S->cc_srtt = srtt;
+    S->acked_total += acked_bytes;
+    double acked_segments = (double)acked_bytes / (double)S->cc_mss;
+    if (S->cwnd < S->ssthresh) {
+        S->cwnd += acked_segments;
+        if (S->cwnd > S->ssthresh)
+            S->cwnd = S->ssthresh;
+    }
+    else if (S->cc_kind == CC_CUBIC) {
+        cubic_congestion_avoidance(S, acked_segments, srtt, now);
+    }
+    else {
+        /* Reno */
+        if (S->cwnd <= 0)
+            S->cwnd = 1.0;
+        S->cwnd += acked_segments / S->cwnd;
+    }
+}
+
+static void
+cc_on_loss(CSender *S, double now)
+{
+    S->losses += 1;
+    if (S->cc_kind == CC_CUBIC) {
+        if (S->fast_conv && S->cwnd < S->w_max)
+            S->w_max = S->cwnd * (2.0 - 0.7) / 2.0;
+        else
+            S->w_max = S->cwnd;
+        double cw = S->cwnd * 0.7;
+        S->cwnd = cw > 2.0 ? cw : 2.0;
+        S->has_epoch = 0;
+        S->acks_in_epoch = 0.0;
+    }
+    else {
+        S->cwnd = S->cwnd / 2.0;
+    }
+    if (S->cwnd < 2.0)
+        S->cwnd = 2.0;
+    S->ssthresh = S->cwnd > 2.0 ? S->cwnd : 2.0;
+}
+
+static void
+cc_on_timeout(CSender *S, double now)
+{
+    S->cc_timeouts += 1;
+    double half = S->cwnd / 2.0;
+    S->ssthresh = half > 2.0 ? half : 2.0;
+    S->cwnd = 1.0;
+    if (S->cc_kind == CC_CUBIC) {
+        if (S->cwnd > S->w_max)
+            S->w_max = S->cwnd;
+        S->has_epoch = 0;
+        S->acks_in_epoch = 0.0;
+    }
+}
+
+/* ---- forward declarations ---- */
+
+static int link_send(SceneObject *s, int32_t li, int32_t pi, int *accepted);
+static int try_send(SceneObject *s, int32_t si);
+static int arm_rto(SceneObject *s, int32_t si, int restart);
+
+/* ---- link transmit / queue / deliver (netsim/link.py, static mode) ---- */
+
+static int
+link_send(SceneObject *s, int32_t li, int32_t pi, int *accepted)
+{
+    CLink *L = &s->links[li];
+    double now = s->now;
+    if (now < L->busy_until || L->serving) {
+        /* DropTailQueue.enqueue inlined */
+        CPkt *p = &s->arena[pi];
+        int acc;
+        if ((int64_t)L->q.len >= L->qcap) {
+            L->qstats.dropped += 1;
+            L->qstats.bytes_drop += p->size;
+            /* Python never recycles a dropped packet (it falls to the GC);
+             * the arena slot is reclaimed here because slot identity is
+             * unobservable from Python. */
+            pkt_free(s, pi);
+            acc = 0;
+        }
+        else {
+            p->enqueued_at = now;
+            if (ring_push(&L->q, pi) < 0)
+                return -1;
+            L->qbytes += p->size;
+            L->qstats.enq += 1;
+            L->qstats.bytes_enq += p->size;
+            if ((int64_t)L->q.len > L->qstats.max_depth)
+                L->qstats.max_depth = L->q.len;
+            acc = 1;
+        }
+        if (acc && !L->serving) {
+            L->serving = 1;
+            L->serve_at = L->busy_until;
+            if (ev_push(s, L->busy_until, s->seq, EV_SERVE, li) < 0)
+                return -1;
+            s->seq += 1;
+        }
+        *accepted = acc;
+        return 0;
+    }
+    /* idle transmitter */
+    int64_t size = s->arena[pi].size;
+    double tx_time = (double)size * 8.0 / L->rate_bps;
+    double tx_end = now + tx_time;
+    L->busy_until = tx_end;
+    L->stats.busy_time += tx_time;
+    L->stats.pkts_sent += 1;
+    L->stats.bytes_sent += size;
+    if (ring_push(&L->fl, pi) < 0)
+        return -1;
+    double deliver_at = tx_end + L->delay;
+    if (ev_push(s, deliver_at, s->seq, EV_DELIVER, li) < 0)
+        return -1;
+    s->seq += 1;
+    *accepted = 1;
+    return 0;
+}
+
+/* ---- capture tap (netsim/capture.py on_packet) ---- */
+
+static int
+cap_record(SceneObject *s, int32_t ci, int32_t pi)
+{
+    CCap *C = &s->caps[ci];
+    CPkt *p = &s->arena[pi];
+    if (p->is_ack && C->data_only)
+        return 0;
+    if (C->has_filter && p->flow != C->filter)
+        return 0;
+    if (C->n == C->cap) {
+        int32_t cap = C->cap ? C->cap * 2 : 1024;
+        double *t = (double *)PyMem_Realloc(C->c_time, (size_t)cap * sizeof(double));
+        if (t == NULL) { PyErr_NoMemory(); return -1; }
+        C->c_time = t;
+#define GROW_COL(field)                                                        \
+        do {                                                                   \
+            int64_t *c__ = (int64_t *)PyMem_Realloc(C->field, (size_t)cap * sizeof(int64_t)); \
+            if (c__ == NULL) { PyErr_NoMemory(); return -1; }                  \
+            C->field = c__;                                                    \
+        } while (0)
+        GROW_COL(c_size);
+        GROW_COL(c_payload);
+        GROW_COL(c_tag);
+        GROW_COL(c_flow);
+        GROW_COL(c_sub);
+        GROW_COL(c_seq);
+        GROW_COL(c_dsn);
+#undef GROW_COL
+        int8_t *f = (int8_t *)PyMem_Realloc(C->c_flags, (size_t)cap * sizeof(int8_t));
+        if (f == NULL) { PyErr_NoMemory(); return -1; }
+        C->c_flags = f;
+        C->cap = cap;
+    }
+    int32_t n = C->n;
+    C->c_time[n] = s->now;
+    C->c_size[n] = p->size;
+    C->c_payload[n] = p->payload;
+    C->c_tag[n] = p->tag;       /* -1 already encodes the untagged sentinel */
+    C->c_flow[n] = p->flow;
+    C->c_sub[n] = p->subflow;
+    C->c_flags[n] = (int8_t)((p->is_ack ? 1 : 0) | (p->is_retx ? 2 : 0));
+    C->c_seq[n] = p->seq;
+    C->c_dsn[n] = p->dsn;
+    C->n = n + 1;
+    return 0;
+}
+
+/* ---- sender (tcp/sender.py) ---- */
+
+static int
+transmit_segment(SceneObject *s, int32_t si, int64_t seq, int64_t length,
+                 int64_t dsn, int is_retx)
+{
+    CSender *S = &s->snds[si];
+    double now = s->now;
+    int32_t pi = pkt_alloc(s);
+    if (pi < 0)
+        return -1;
+    CPkt *p = &s->arena[pi];
+    p->src = S->host;
+    p->dst = S->dst_node;
+    p->size = length + s->header_size;
+    p->tag = S->tag;
+    p->flow = S->flow;
+    p->subflow = S->subflow;
+    p->seq = seq;
+    p->payload = length;
+    p->is_ack = 0;
+    p->ack = 0;
+    p->dsn = dsn;
+    p->dack = 0;
+    p->is_retx = (int8_t)is_retx;
+    p->ts_echo = -1.0;
+    p->created_at = now;
+    p->enqueued_at = 0.0;
+    p->hops = 0;
+    p->nsack = 0;
+    int32_t j = seg_find(&S->segs, seq);
+    if (j < 0) {
+        CSeg seg = {seq, length, dsn, now, 0, 0, 0, 0, 0};
+        if (is_retx)
+            seg.retransmitted = 1;
+        if (segring_push(&S->segs, seg) < 0)
+            return -1;
+    }
+    else {
+        CSeg *g = seg_at(&S->segs, j);
+        g->sent_at = now;
+        if (is_retx)
+            g->retransmitted = 1;
+    }
+    if (is_retx)
+        S->st_retrans += 1;
+    S->st_segments_sent += 1;
+    S->st_bytes_sent += length;
+    int accepted;
+    if (link_send(s, S->route_link, pi, &accepted) < 0)
+        return -1;
+    if (!S->rto_live)
+        return arm_rto(s, si, 0);
+    return 0;
+}
+
+static int
+retransmit_next_hole(SceneObject *s, int32_t si, int *did)
+{
+    CSender *S = &s->snds[si];
+    int64_t recover = S->recover;
+    for (int32_t j = 0; j < S->segs.len; j++) {
+        CSeg *g = seg_at(&S->segs, j);
+        if (g->seq >= recover)
+            break;
+        if (g->sacked || !g->lost || g->retx_in_recovery)
+            continue;
+        g->retx_in_recovery = 1;
+        if (g->lost_pending) {
+            g->lost_pending = 0;
+            S->lost_pending_bytes -= g->length;
+        }
+        int64_t seq = g->seq, length = g->length, dsn = g->dsn;
+        if (transmit_segment(s, si, seq, length, dsn, 1) < 0)
+            return -1;
+        *did = 1;
+        return 0;
+    }
+    *did = 0;
+    return 0;
+}
+
+static int
+arm_rto(SceneObject *s, int32_t si, int restart)
+{
+    CSender *S = &s->snds[si];
+    if (S->rto_live && !restart)
+        return 0;
+    double deadline = s->now + S->rto_cache * S->rto_backoff;
+    S->rto_deadline = deadline;
+    if (S->rto_live) {
+        if (S->rto_fire_at <= deadline)
+            return 0;
+        /* Python cancels the pending event; here it goes stale via rto_seq */
+    }
+    S->rto_seq = s->seq;
+    S->rto_live = 1;
+    if (ev_push(s, deadline, s->seq, EV_RTO, si) < 0)
+        return -1;
+    s->seq += 1;
+    S->rto_fire_at = deadline;
+    return 0;
+}
+
+static int
+try_send(SceneObject *s, int32_t si)
+{
+    CSender *S = &s->snds[si];
+    int64_t mss = S->mss;
+    double cwnd_bytes = S->cwnd * (double)S->cc_mss;
+    for (;;) {
+        int64_t pipe = S->snd_nxt - S->snd_una - S->sacked_bytes - S->lost_pending_bytes;
+        if (pipe < 0)
+            pipe = 0;
+        if ((double)(pipe + mss) > cwnd_bytes)
+            return 0;
+        if (S->in_recovery) {
+            int did;
+            if (retransmit_next_hole(s, si, &did) < 0)
+                return -1;
+            if (did)
+                continue;
+        }
+        /* BulkDataAdapter.request_data inlined */
+        int64_t length;
+        if (S->total_bytes >= 0) {
+            int64_t remaining = S->total_bytes - S->offset;
+            if (remaining <= 0)
+                return 0;   /* provider refused; on_idle is None (eligibility) */
+            length = mss < remaining ? mss : remaining;
+        }
+        else {
+            length = mss;
+        }
+        int64_t dsn = S->offset;
+        S->offset += length;
+        int64_t seq = S->snd_nxt;
+        double now = s->now;
+        int32_t pi = pkt_alloc(s);
+        if (pi < 0)
+            return -1;
+        CPkt *p = &s->arena[pi];
+        p->src = S->host;
+        p->dst = S->dst_node;
+        p->size = length + s->header_size;
+        p->tag = S->tag;
+        p->flow = S->flow;
+        p->subflow = S->subflow;
+        p->seq = seq;
+        p->payload = length;
+        p->is_ack = 0;
+        p->ack = 0;
+        p->dsn = dsn;
+        p->dack = 0;
+        p->is_retx = 0;
+        p->ts_echo = -1.0;
+        p->created_at = now;
+        p->enqueued_at = 0.0;
+        p->hops = 0;
+        p->nsack = 0;
+        CSeg seg = {seq, length, dsn, now, 0, 0, 0, 0, 0};
+        if (segring_push(&S->segs, seg) < 0)
+            return -1;
+        S->st_segments_sent += 1;
+        S->st_bytes_sent += length;
+        int accepted;
+        if (link_send(s, S->route_link, pi, &accepted) < 0)
+            return -1;
+        if (!S->rto_live) {
+            if (arm_rto(s, si, 0) < 0)
+                return -1;
+        }
+        S->snd_nxt = seq + length;
+    }
+}
+
+static void
+sample_rtt_karn(CSender *S, int64_t ack, double now)
+{
+    int found = 0;
+    double best_sent = 0.0;
+    for (int32_t j = 0; j < S->segs.len; j++) {
+        CSeg *g = seg_at(&S->segs, j);
+        if (g->seq + g->length <= ack && !g->retransmitted) {
+            if (!found || g->sent_at > best_sent) {
+                found = 1;
+                best_sent = g->sent_at;
+            }
+        }
+    }
+    if (found) {
+        double sample = now - best_sent;
+        if (sample > 0)
+            rtt_update(S, sample);
+    }
+}
+
+static void
+apply_sack(CSender *S, const int64_t *blocks, int32_t nblocks)
+{
+    int64_t hse = 0;
+    for (int32_t b = 0; b < nblocks; b++) {
+        int64_t start = blocks[2 * b];
+        int64_t end = blocks[2 * b + 1];
+        if (b == 0 || end > hse)
+            hse = end;
+        for (int32_t j = 0; j < S->segs.len; j++) {
+            CSeg *g = seg_at(&S->segs, j);
+            if (g->sacked)
+                continue;
+            if (g->seq >= start && g->seq + g->length <= end) {
+                g->sacked = 1;
+                S->sacked_bytes += g->length;
+                if (g->lost_pending) {
+                    g->lost_pending = 0;
+                    S->lost_pending_bytes -= g->length;
+                }
+            }
+        }
+    }
+    /* FACK-style marking below the highest SACKed end */
+    for (int32_t j = 0; j < S->segs.len; j++) {
+        CSeg *g = seg_at(&S->segs, j);
+        if (g->sacked || g->lost)
+            continue;
+        if (g->seq + g->length <= hse) {
+            g->lost = 1;
+            g->lost_pending = 1;
+            S->lost_pending_bytes += g->length;
+        }
+    }
+}
+
+static int
+enter_fast_recovery(SceneObject *s, int32_t si, double now)
+{
+    CSender *S = &s->snds[si];
+    S->in_recovery = 1;
+    S->recover = S->snd_nxt;
+    S->st_fast_retrans += 1;
+    cc_on_loss(S, now);
+    int32_t j = seg_find(&S->segs, S->snd_una);
+    if (j >= 0) {
+        CSeg *front = seg_at(&S->segs, j);
+        if (!front->sacked && !front->lost) {
+            front->lost = 1;
+            front->lost_pending = 1;
+            S->lost_pending_bytes += front->length;
+        }
+    }
+    int did;
+    return retransmit_next_hole(s, si, &did);
+}
+
+static int
+on_new_ack(SceneObject *s, int32_t si, int64_t ack, double now)
+{
+    CSender *S = &s->snds[si];
+    int64_t newly = ack - S->snd_una;
+    S->st_bytes_acked += newly;
+    if (S->samples == 0)
+        sample_rtt_karn(S, ack, now);
+    while (S->segs.len > 0) {
+        CSeg *g = seg_at(&S->segs, 0);
+        if (g->seq + g->length > ack)
+            break;
+        int64_t length = g->length;
+        if (g->sacked)
+            S->sacked_bytes -= length;
+        if (g->lost_pending)
+            S->lost_pending_bytes -= length;
+        /* BulkDataAdapter.on_data_acked inlined */
+        S->prov_acked += length;
+        S->prov_last_ack = now;
+        segring_popleft(&S->segs);
+    }
+    S->snd_una = ack;
+    S->dupacks = 0;
+    S->rto_backoff = 1.0;
+    double srtt = S->has_srtt ? S->srtt : 0.01;
+    if (S->in_recovery) {
+        if (ack >= S->recover) {
+            /* _exit_fast_recovery */
+            S->in_recovery = 0;
+            for (int32_t j = 0; j < S->segs.len; j++)
+                seg_at(&S->segs, j)->retx_in_recovery = 0;
+        }
+        else if (S->cwnd < S->ssthresh) {
+            cc_on_ack(S, newly, srtt, now);
+        }
+    }
+    else {
+        cc_on_ack(S, newly, srtt, now);
+    }
+    if (S->snd_nxt == ack)
+        S->rto_live = 0;    /* _cancel_rto */
+    else if (arm_rto(s, si, 1) < 0)
+        return -1;
+    return 0;
+}
+
+static int
+sender_handle(SceneObject *s, int32_t si, int32_t pi)
+{
+    CPkt *p = &s->arena[pi];
+    if (!p->is_ack)
+        return 0;   /* Python leaks a stray data packet; unreachable here */
+    CSender *S = &s->snds[si];
+    int64_t ack = p->ack;
+    double now = s->now;
+    if (ack > S->snd_nxt)
+        return scene_err("compiled pipeline: ACK beyond snd_nxt");
+    double ts_echo = p->ts_echo;
+    int64_t blocks[8];
+    int32_t nblocks = p->nsack;
+    for (int32_t b = 0; b < 2 * nblocks; b++)
+        blocks[b] = p->sack[b];
+    pkt_free(s, pi);    /* Python recycles after dispatch; order unobservable */
+    if (ts_echo >= 0) {
+        double sample = now - ts_echo;
+        if (sample > 0)
+            rtt_update(S, sample);
+    }
+    if (nblocks > 0)
+        apply_sack(S, blocks, nblocks);
+    int64_t snd_una = S->snd_una;
+    if (ack > snd_una) {
+        if (on_new_ack(s, si, ack, now) < 0)
+            return -1;
+    }
+    else if (ack == snd_una && S->snd_nxt > snd_una) {
+        /* _on_dupack */
+        S->dupacks += 1;
+        S->st_dupacks += 1;
+        if (!S->in_recovery) {
+            int lost_hint = S->dupacks >= 3;
+            int sack_hint = S->sacked_bytes >= 3 * S->mss;
+            if (lost_hint || sack_hint) {
+                if (enter_fast_recovery(s, si, now) < 0)
+                    return -1;
+            }
+        }
+    }
+    return try_send(s, si);
+}
+
+static int
+on_rto(SceneObject *s, int32_t si)
+{
+    CSender *S = &s->snds[si];
+    S->rto_live = 0;
+    if (S->snd_nxt - S->snd_una == 0 || S->closed)
+        return 0;
+    double now = s->now;
+    S->st_timeouts += 1;
+    cc_on_timeout(S, now);
+    S->dupacks = 0;
+    /* _exit_fast_recovery */
+    S->in_recovery = 0;
+    for (int32_t j = 0; j < S->segs.len; j++)
+        seg_at(&S->segs, j)->retx_in_recovery = 0;
+    S->sacked_bytes = 0;
+    S->lost_pending_bytes = 0;
+    for (int32_t j = 0; j < S->segs.len; j++) {
+        CSeg *g = seg_at(&S->segs, j);
+        g->sacked = 0;
+        g->lost = 1;
+        g->lost_pending = 1;
+        S->lost_pending_bytes += g->length;
+    }
+    S->in_recovery = 1;
+    S->recover = S->snd_nxt;
+    double backoff = S->rto_backoff * 2.0;
+    S->rto_backoff = backoff < 64.0 ? backoff : 64.0;
+    int did;
+    if (retransmit_next_hole(s, si, &did) < 0)
+        return -1;
+    return arm_rto(s, si, 1);
+}
+
+/* ---- receiver (tcp/receiver.py) ---- */
+
+static int32_t
+ooo_find(CRecv *R, int64_t seq)
+{
+    int32_t lo = 0, hi = R->nooo - 1;
+    while (lo <= hi) {
+        int32_t mid = (lo + hi) / 2;
+        int64_t v = R->ooo[mid].seq;
+        if (v == seq)
+            return mid;
+        if (v < seq)
+            lo = mid + 1;
+        else
+            hi = mid - 1;
+    }
+    return -1;
+}
+
+static int
+ooo_insert_if_absent(CRecv *R, int64_t seq, int64_t length, int64_t dsn)
+{
+    /* dict.setdefault: the first buffered (length, dsn) wins */
+    int32_t lo = 0, hi = R->nooo;
+    while (lo < hi) {
+        int32_t mid = (lo + hi) / 2;
+        if (R->ooo[mid].seq < seq)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo < R->nooo && R->ooo[lo].seq == seq)
+        return 0;
+    if (R->nooo == R->ooocap) {
+        int32_t cap = R->ooocap ? R->ooocap * 2 : 16;
+        OooEnt *buf = (OooEnt *)PyMem_Realloc(R->ooo, (size_t)cap * sizeof(OooEnt));
+        if (buf == NULL) { PyErr_NoMemory(); return -1; }
+        R->ooo = buf;
+        R->ooocap = cap;
+    }
+    memmove(&R->ooo[lo + 1], &R->ooo[lo], (size_t)(R->nooo - lo) * sizeof(OooEnt));
+    R->ooo[lo].seq = seq;
+    R->ooo[lo].length = length;
+    R->ooo[lo].dsn = dsn;
+    R->nooo += 1;
+    return 0;
+}
+
+static void
+drain_buffer(CRecv *R)
+{
+    /* `while rcv_nxt in buffer`: stale entries below rcv_nxt stay put and
+     * keep appearing in SACK blocks, exactly like the Python dict. */
+    for (;;) {
+        int32_t j = ooo_find(R, R->rcv_nxt);
+        if (j < 0)
+            return;
+        int64_t length = R->ooo[j].length;
+        memmove(&R->ooo[j], &R->ooo[j + 1], (size_t)(R->nooo - j - 1) * sizeof(OooEnt));
+        R->nooo -= 1;
+        if (length > 0) {
+            R->rcv_nxt += length;
+            R->st_bytes += length;
+        }
+    }
+}
+
+static void
+sack_blocks_into(CRecv *R, CPkt *a)
+{
+    /* RFC 2018 merge over the seq-sorted buffer, truncated to 4 blocks */
+    int32_t nb = 0;
+    int64_t start = R->ooo[0].seq;
+    int64_t end = start + R->ooo[0].length;
+    for (int32_t j = 1; j < R->nooo; j++) {
+        int64_t q = R->ooo[j].seq;
+        if (q == end) {
+            end = q + R->ooo[j].length;
+        }
+        else {
+            if (nb < 4) {
+                a->sack[2 * nb] = start;
+                a->sack[2 * nb + 1] = end;
+                nb++;
+            }
+            start = q;
+            end = q + R->ooo[j].length;
+        }
+    }
+    if (nb < 4) {
+        a->sack[2 * nb] = start;
+        a->sack[2 * nb + 1] = end;
+        nb++;
+    }
+    a->nsack = nb;
+}
+
+static int
+recv_handle(SceneObject *s, int32_t ri, int32_t pi)
+{
+    CPkt *p = &s->arena[pi];
+    if (p->is_ack)
+        return 0;   /* Python leaks a stray ACK; unreachable here */
+    CRecv *R = &s->rcvs[ri];
+    double now = s->now;
+    R->st_segs += 1;
+    int64_t seq = p->seq, length = p->payload, dsn = p->dsn;
+    double ts_echo = p->created_at;
+    pkt_free(s, pi);
+    int64_t rcv_nxt = R->rcv_nxt;
+    if (seq == rcv_nxt) {
+        if (length > 0) {
+            R->rcv_nxt = seq + length;
+            R->st_bytes += length;
+            /* connection_sink is None under eligibility: _last_dack frozen */
+        }
+        if (R->nooo)
+            drain_buffer(R);
+    }
+    else if (seq > rcv_nxt) {
+        R->st_ooo += 1;
+        if (ooo_insert_if_absent(R, seq, length, dsn) < 0)
+            return -1;
+    }
+    else {
+        R->st_dups += 1;
+        if (seq + length > rcv_nxt) {
+            int64_t overlap = rcv_nxt - seq;
+            int64_t dl = length - overlap;
+            if (dl > 0) {
+                R->rcv_nxt = rcv_nxt + dl;
+                R->st_bytes += dl;
+            }
+            drain_buffer(R);
+        }
+    }
+    int32_t ai = pkt_alloc(s);
+    if (ai < 0)
+        return -1;
+    CPkt *a = &s->arena[ai];
+    a->src = R->host;
+    a->dst = R->peer_node;
+    a->size = R->ack_size;
+    a->tag = R->tag;
+    a->flow = R->flow;
+    a->subflow = R->subflow;
+    a->seq = 0;
+    a->payload = 0;
+    a->is_ack = 1;
+    a->ack = R->rcv_nxt;
+    a->dsn = 0;
+    a->dack = R->last_dack;
+    a->is_retx = 0;
+    a->ts_echo = ts_echo;
+    a->created_at = now;
+    a->enqueued_at = 0.0;
+    a->hops = 0;
+    a->nsack = 0;
+    if (R->nooo)
+        sack_blocks_into(R, a);
+    R->st_acks += 1;
+    int accepted;
+    return link_send(s, R->route_link, ai, &accepted);
+}
+
+/* ---- node dispatch (netsim/node.py receive fused into link delivery) ---- */
+
+static int
+node_receive(SceneObject *s, int32_t ni, int32_t pi)
+{
+    CNode *N = &s->nodes[ni];
+    N->stats.received += 1;
+    CPkt *p = &s->arena[pi];
+    if (p->dst == ni) {
+        N->stats.delivered += 1;
+        for (int32_t c = 0; c < N->ncaps; c++) {
+            if (cap_record(s, N->caps[c], pi) < 0)
+                return -1;
+        }
+        p = &s->arena[pi];  /* cap_record never moves the arena, but be safe */
+        for (int32_t a = 0; a < N->nagents; a++) {
+            AgentEnt *ag = &N->agents[a];
+            if (ag->flow == p->flow && ag->subflow == p->subflow) {
+                if (ag->kind == AGENT_SENDER)
+                    return sender_handle(s, ag->idx, pi);
+                return recv_handle(s, ag->idx, pi);
+            }
+        }
+        /* No matching agent: Python silently drops the packet (leaked to
+         * the GC, never pooled).  Unreachable under eligibility. */
+        return 0;
+    }
+    N->stats.forwarded += 1;
+    for (int32_t f = 0; f < N->nfwd; f++) {
+        FwdEnt *e = &N->fwd[f];
+        if (e->dst == p->dst && e->tag == p->tag) {
+            e->hits += 1;
+            int accepted;
+            return link_send(s, e->link, pi, &accepted);
+        }
+    }
+    return scene_err("compiled pipeline: missing forwarding entry");
+}
+
+/* ---- run loop ---- */
+
+static int
+scene_step(SceneObject *s, PEv ev)
+{
+    switch (ev.kind) {
+    case EV_DELIVER: {
+        CLink *L = &s->links[ev.idx];
+        int32_t pi = ring_pop(&L->fl);
+        s->arena[pi].hops += 1;
+        return node_receive(s, L->dst, pi);
+    }
+    case EV_SERVE: {
+        CLink *L = &s->links[ev.idx];
+        if (L->q.len == 0) {
+            /* queue.dequeue() returned None: defensive, mirrors Python */
+            L->serving = 0;
+            return 0;
+        }
+        int32_t pi = ring_pop(&L->q);
+        int64_t size = s->arena[pi].size;
+        L->qbytes -= size;
+        L->qstats.deq += 1;
+        double tx_time = (double)size * 8.0 / L->rate_bps;
+        double tx_end = s->now + tx_time;
+        L->busy_until = tx_end;
+        L->stats.busy_time += tx_time;
+        L->stats.pkts_sent += 1;
+        L->stats.bytes_sent += size;
+        if (ring_push(&L->fl, pi) < 0)
+            return -1;
+        double deliver_at = tx_end + L->delay;
+        if (ev_push(s, deliver_at, s->seq, EV_DELIVER, ev.idx) < 0)
+            return -1;
+        s->seq += 1;
+        if (L->q.len == 0) {
+            L->serving = 0;
+        }
+        else {
+            L->serve_at = tx_end;
+            if (ev_push(s, tx_end, s->seq, EV_SERVE, ev.idx) < 0)
+                return -1;
+            s->seq += 1;
+        }
+        return 0;
+    }
+    case EV_RTO: {
+        /* _fire_rto: the lazy deadline check */
+        CSender *S = &s->snds[ev.idx];
+        S->rto_live = 0;
+        double deadline = S->rto_deadline;
+        if (s->now < deadline) {
+            S->rto_seq = s->seq;
+            S->rto_live = 1;
+            if (ev_push(s, deadline, s->seq, EV_RTO, ev.idx) < 0)
+                return -1;
+            s->seq += 1;
+            S->rto_fire_at = deadline;
+            return 0;
+        }
+        return on_rto(s, ev.idx);
+    }
+    case EV_START: {
+        /* TcpSender.start */
+        CSender *S = &s->snds[ev.idx];
+        if (S->started || S->closed)
+            return 0;
+        S->started = 1;
+        return try_send(s, ev.idx);
+    }
+    }
+    return scene_err("compiled pipeline: unknown event kind");
+}
+
+static PyObject *
+scene_run(SceneObject *self, PyObject *args)
+{
+    double until;
+    if (!PyArg_ParseTuple(args, "d", &until))
+        return NULL;
+    int64_t processed = 0;
+    self->running = 1;
+    while (self->hlen > 0) {
+        PEv top = self->heap[0];
+        if (top.kind == EV_CANCELLED ||
+            (top.kind == EV_RTO &&
+             (!self->snds[top.idx].rto_live ||
+              top.seq != self->snds[top.idx].rto_seq))) {
+            ev_pop(self);
+            /* Python recycles drained cancelled entries into the pool. */
+            if (self->pool_len < self->pool_cap)
+                self->pool_len += 1;
+            continue;
+        }
+        if (top.t > until)
+            break;
+        ev_pop(self);
+        self->now = top.t;
+        if (scene_step(self, top) < 0) {
+            self->running = 0;
+            return NULL;
+        }
+        processed += 1;
+        /* Fired entries are recycled after the handler returns. */
+        if (self->pool_len < self->pool_cap)
+            self->pool_len += 1;
+    }
+    self->running = 0;
+    if (self->now < until)
+        self->now = until;
+    self->processed += processed;
+    return PyLong_FromLongLong((long long)processed);
+}
+
+/* ---- construction ---- */
+
+static PyObject *
+scene_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    long long header_size = 60;
+    static char *kwlist[] = {"header_size", NULL};
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|L", kwlist, &header_size))
+        return NULL;
+    SceneObject *self = (SceneObject *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    memset((char *)self + sizeof(PyObject), 0,
+           sizeof(SceneObject) - sizeof(PyObject));
+    self->header_size = (int64_t)header_size;
+    self->free_head = -1;
+    return (PyObject *)self;
+}
+
+static void
+scene_dealloc(SceneObject *self)
+{
+    PyMem_Free(self->heap);
+    PyMem_Free(self->arena);
+    for (int32_t i = 0; i < self->nlinks; i++) {
+        PyMem_Free(self->links[i].q.buf);
+        PyMem_Free(self->links[i].fl.buf);
+    }
+    PyMem_Free(self->links);
+    for (int32_t i = 0; i < self->nnodes; i++) {
+        PyMem_Free(self->nodes[i].fwd);
+        PyMem_Free(self->nodes[i].agents);
+        PyMem_Free(self->nodes[i].caps);
+    }
+    PyMem_Free(self->nodes);
+    for (int32_t i = 0; i < self->nsnd; i++)
+        PyMem_Free(self->snds[i].segs.buf);
+    PyMem_Free(self->snds);
+    for (int32_t i = 0; i < self->nrcv; i++)
+        PyMem_Free(self->rcvs[i].ooo);
+    PyMem_Free(self->rcvs);
+    for (int32_t i = 0; i < self->ncaps; i++) {
+        CCap *C = &self->caps[i];
+        PyMem_Free(C->c_time);
+        PyMem_Free(C->c_size);
+        PyMem_Free(C->c_payload);
+        PyMem_Free(C->c_tag);
+        PyMem_Free(C->c_flow);
+        PyMem_Free(C->c_sub);
+        PyMem_Free(C->c_seq);
+        PyMem_Free(C->c_dsn);
+        PyMem_Free(C->c_flags);
+    }
+    PyMem_Free(self->caps);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyObject *
+scene_add_node(SceneObject *self, PyObject *args)
+{
+    int is_host;
+    long long recv, fwd, deliv, rdrops;
+    if (!PyArg_ParseTuple(args, "pLLLL", &is_host, &recv, &fwd, &deliv, &rdrops))
+        return NULL;
+    if (self->nnodes == self->nodecap) {
+        int32_t cap = self->nodecap ? self->nodecap * 2 : 8;
+        CNode *p = (CNode *)PyMem_Realloc(self->nodes, (size_t)cap * sizeof(CNode));
+        if (p == NULL)
+            return PyErr_NoMemory();
+        self->nodes = p;
+        self->nodecap = cap;
+    }
+    CNode *N = &self->nodes[self->nnodes];
+    memset(N, 0, sizeof(CNode));
+    N->is_host = (int8_t)is_host;
+    N->stats.received = recv;
+    N->stats.forwarded = fwd;
+    N->stats.delivered = deliv;
+    N->stats.routing_drops = rdrops;
+    return PyLong_FromLong(self->nnodes++);
+}
+
+static PyObject *
+scene_add_link(SceneObject *self, PyObject *args)
+{
+    PyObject *d;
+    if (!PyArg_ParseTuple(args, "O!", &PyDict_Type, &d))
+        return NULL;
+    if (self->nlinks == self->lcap) {
+        int32_t cap = self->lcap ? self->lcap * 2 : 8;
+        CLink *p = (CLink *)PyMem_Realloc(self->links, (size_t)cap * sizeof(CLink));
+        if (p == NULL)
+            return PyErr_NoMemory();
+        self->links = p;
+        self->lcap = cap;
+    }
+    CLink *L = &self->links[self->nlinks];
+    memset(L, 0, sizeof(CLink));
+    int err = 0;
+    L->src = (int32_t)dget_ll(d, "src", &err);
+    L->dst = (int32_t)dget_ll(d, "dst", &err);
+    L->rate_bps = dget_d(d, "rate_bps", &err);
+    L->delay = dget_d(d, "delay", &err);
+    L->qcap = dget_ll(d, "qcap", &err);
+    L->busy_until = dget_d(d, "busy_until", &err);
+    L->serving = 0;
+    L->serve_at = dget_d(d, "serve_at", &err);
+    L->stats.pkts_sent = dget_ll(d, "pkts_sent", &err);
+    L->stats.bytes_sent = dget_ll(d, "bytes_sent", &err);
+    L->stats.pkts_dropped = dget_ll(d, "pkts_dropped", &err);
+    L->stats.busy_time = dget_d(d, "busy_time", &err);
+    L->qstats.enq = dget_ll(d, "q_enqueued", &err);
+    L->qstats.deq = dget_ll(d, "q_dequeued", &err);
+    L->qstats.dropped = dget_ll(d, "q_dropped", &err);
+    L->qstats.bytes_enq = dget_ll(d, "q_bytes_enqueued", &err);
+    L->qstats.bytes_drop = dget_ll(d, "q_bytes_dropped", &err);
+    L->qstats.max_depth = dget_ll(d, "q_max_depth", &err);
+    L->qbytes = dget_ll(d, "qbytes", &err);
+    if (err)
+        return NULL;
+    return PyLong_FromLong(self->nlinks++);
+}
+
+static PyObject *
+scene_add_fwd(SceneObject *self, PyObject *args)
+{
+    int node, dst, link;
+    long long tag;
+    if (!PyArg_ParseTuple(args, "iiLi", &node, &dst, &tag, &link))
+        return NULL;
+    if (node < 0 || node >= self->nnodes) {
+        PyErr_SetString(PyExc_IndexError, "node index out of range");
+        return NULL;
+    }
+    CNode *N = &self->nodes[node];
+    if (N->nfwd == N->fwdcap) {
+        int32_t cap = N->fwdcap ? N->fwdcap * 2 : 8;
+        FwdEnt *p = (FwdEnt *)PyMem_Realloc(N->fwd, (size_t)cap * sizeof(FwdEnt));
+        if (p == NULL)
+            return PyErr_NoMemory();
+        N->fwd = p;
+        N->fwdcap = cap;
+    }
+    N->fwd[N->nfwd].dst = dst;
+    N->fwd[N->nfwd].tag = (int64_t)tag;
+    N->fwd[N->nfwd].link = link;
+    N->fwd[N->nfwd].hits = 0;
+    N->nfwd += 1;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+scene_add_capture(SceneObject *self, PyObject *args)
+{
+    int data_only, has_filter;
+    long long filter;
+    if (!PyArg_ParseTuple(args, "ppL", &data_only, &has_filter, &filter))
+        return NULL;
+    if (self->ncaps == self->capcap) {
+        int32_t cap = self->capcap ? self->capcap * 2 : 4;
+        CCap *p = (CCap *)PyMem_Realloc(self->caps, (size_t)cap * sizeof(CCap));
+        if (p == NULL)
+            return PyErr_NoMemory();
+        self->caps = p;
+        self->capcap = cap;
+    }
+    CCap *C = &self->caps[self->ncaps];
+    memset(C, 0, sizeof(CCap));
+    C->data_only = (int8_t)data_only;
+    C->has_filter = (int8_t)has_filter;
+    C->filter = (int64_t)filter;
+    return PyLong_FromLong(self->ncaps++);
+}
+
+static PyObject *
+scene_attach_capture(SceneObject *self, PyObject *args)
+{
+    int node, cap_idx;
+    if (!PyArg_ParseTuple(args, "ii", &node, &cap_idx))
+        return NULL;
+    if (node < 0 || node >= self->nnodes || cap_idx < 0 || cap_idx >= self->ncaps) {
+        PyErr_SetString(PyExc_IndexError, "attach_capture index out of range");
+        return NULL;
+    }
+    CNode *N = &self->nodes[node];
+    if (N->ncaps == N->capscap) {
+        int32_t cap = N->capscap ? N->capscap * 2 : 4;
+        int32_t *p = (int32_t *)PyMem_Realloc(N->caps, (size_t)cap * sizeof(int32_t));
+        if (p == NULL)
+            return PyErr_NoMemory();
+        N->caps = p;
+        N->capscap = cap;
+    }
+    N->caps[N->ncaps++] = cap_idx;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+scene_add_agent(SceneObject *self, PyObject *args)
+{
+    int node, kind, idx;
+    long long flow, subflow;
+    if (!PyArg_ParseTuple(args, "iLLii", &node, &flow, &subflow, &kind, &idx))
+        return NULL;
+    if (node < 0 || node >= self->nnodes) {
+        PyErr_SetString(PyExc_IndexError, "node index out of range");
+        return NULL;
+    }
+    CNode *N = &self->nodes[node];
+    if (N->nagents == N->agcap) {
+        int32_t cap = N->agcap ? N->agcap * 2 : 4;
+        AgentEnt *p = (AgentEnt *)PyMem_Realloc(N->agents, (size_t)cap * sizeof(AgentEnt));
+        if (p == NULL)
+            return PyErr_NoMemory();
+        N->agents = p;
+        N->agcap = cap;
+    }
+    AgentEnt *A = &N->agents[N->nagents];
+    A->flow = (int64_t)flow;
+    A->subflow = (int64_t)subflow;
+    A->kind = kind;
+    A->idx = idx;
+    N->nagents += 1;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+scene_add_sender(SceneObject *self, PyObject *args)
+{
+    PyObject *d;
+    if (!PyArg_ParseTuple(args, "O!", &PyDict_Type, &d))
+        return NULL;
+    if (self->nsnd == self->sndcap) {
+        int32_t cap = self->sndcap ? self->sndcap * 2 : 4;
+        CSender *p = (CSender *)PyMem_Realloc(self->snds, (size_t)cap * sizeof(CSender));
+        if (p == NULL)
+            return PyErr_NoMemory();
+        self->snds = p;
+        self->sndcap = cap;
+    }
+    CSender *S = &self->snds[self->nsnd];
+    memset(S, 0, sizeof(CSender));
+    int err = 0;
+    S->host = (int32_t)dget_ll(d, "host", &err);
+    S->dst_node = (int32_t)dget_ll(d, "dst", &err);
+    S->flow = dget_ll(d, "flow", &err);
+    S->subflow = dget_ll(d, "subflow", &err);
+    S->tag = dget_ll(d, "tag", &err);
+    S->route_link = (int32_t)dget_ll(d, "route_link", &err);
+    S->mss = dget_ll(d, "mss", &err);
+    S->total_bytes = dget_ll(d, "total_bytes", &err);
+    S->offset = dget_ll(d, "offset", &err);
+    S->prov_acked = dget_ll(d, "prov_acked", &err);
+    S->prov_last_ack = dget_d(d, "prov_last_ack", &err);
+    S->alpha = dget_d(d, "alpha", &err);
+    S->beta = dget_d(d, "beta", &err);
+    S->min_rto = dget_d(d, "min_rto", &err);
+    S->max_rto = dget_d(d, "max_rto", &err);
+    S->srtt = dget_d(d, "srtt", &err);
+    S->rttvar = dget_d(d, "rttvar", &err);
+    S->rtt_min = dget_d(d, "rtt_min", &err);
+    S->latest = dget_d(d, "latest", &err);
+    S->has_srtt = (int8_t)dget_ll(d, "has_srtt", &err);
+    S->has_min = (int8_t)dget_ll(d, "has_min", &err);
+    S->has_latest = (int8_t)dget_ll(d, "has_latest", &err);
+    S->samples = dget_ll(d, "samples", &err);
+    S->rto_cache = dget_d(d, "rto_cache", &err);
+    S->cc_kind = (int8_t)dget_ll(d, "cc_kind", &err);
+    S->cc_mss = dget_ll(d, "cc_mss", &err);
+    S->cwnd = dget_d(d, "cwnd", &err);
+    S->ssthresh = dget_d(d, "ssthresh", &err);
+    S->cc_srtt = dget_d(d, "cc_srtt", &err);
+    S->losses = dget_ll(d, "losses", &err);
+    S->cc_timeouts = dget_ll(d, "cc_timeouts", &err);
+    S->acked_total = dget_ll(d, "acked_total", &err);
+    S->fast_conv = (int8_t)dget_ll(d, "fast_conv", &err);
+    S->tcp_friendly = (int8_t)dget_ll(d, "tcp_friendly", &err);
+    S->hystart = (int8_t)dget_ll(d, "hystart", &err);
+    S->w_max = dget_d(d, "w_max", &err);
+    S->k = dget_d(d, "k", &err);
+    S->epoch_start = dget_d(d, "epoch_start", &err);
+    S->has_epoch = (int8_t)dget_ll(d, "has_epoch", &err);
+    S->w_est = dget_d(d, "w_est", &err);
+    S->acks_in_epoch = dget_d(d, "acks_in_epoch", &err);
+    S->cc_min_rtt = dget_d(d, "cc_min_rtt", &err);
+    S->has_cc_min = (int8_t)dget_ll(d, "has_cc_min", &err);
+    S->snd_una = dget_ll(d, "snd_una", &err);
+    S->snd_nxt = dget_ll(d, "snd_nxt", &err);
+    S->sacked_bytes = dget_ll(d, "sacked_bytes", &err);
+    S->lost_pending_bytes = dget_ll(d, "lost_pending_bytes", &err);
+    S->dupacks = dget_ll(d, "dupacks", &err);
+    S->in_recovery = (int8_t)dget_ll(d, "in_recovery", &err);
+    S->recover = dget_ll(d, "recover", &err);
+    S->rto_backoff = dget_d(d, "rto_backoff", &err);
+    S->rto_deadline = dget_d(d, "rto_deadline", &err);
+    S->rto_fire_at = dget_d(d, "rto_fire_at", &err);
+    S->started = (int8_t)dget_ll(d, "started", &err);
+    S->closed = (int8_t)dget_ll(d, "closed", &err);
+    S->st_segments_sent = dget_ll(d, "st_segments_sent", &err);
+    S->st_bytes_sent = dget_ll(d, "st_bytes_sent", &err);
+    S->st_bytes_acked = dget_ll(d, "st_bytes_acked", &err);
+    S->st_retrans = dget_ll(d, "st_retrans", &err);
+    S->st_fast_retrans = dget_ll(d, "st_fast_retrans", &err);
+    S->st_timeouts = dget_ll(d, "st_timeouts", &err);
+    S->st_dupacks = dget_ll(d, "st_dupacks", &err);
+    if (err)
+        return NULL;
+    S->rto_live = 0;
+    S->rto_seq = -1;
+    return PyLong_FromLong(self->nsnd++);
+}
+
+static PyObject *
+scene_add_receiver(SceneObject *self, PyObject *args)
+{
+    PyObject *d;
+    PyObject *ooo_list;
+    if (!PyArg_ParseTuple(args, "O!O!", &PyDict_Type, &d, &PyList_Type, &ooo_list))
+        return NULL;
+    if (self->nrcv == self->rcvcap) {
+        int32_t cap = self->rcvcap ? self->rcvcap * 2 : 4;
+        CRecv *p = (CRecv *)PyMem_Realloc(self->rcvs, (size_t)cap * sizeof(CRecv));
+        if (p == NULL)
+            return PyErr_NoMemory();
+        self->rcvs = p;
+        self->rcvcap = cap;
+    }
+    CRecv *R = &self->rcvs[self->nrcv];
+    memset(R, 0, sizeof(CRecv));
+    int err = 0;
+    R->host = (int32_t)dget_ll(d, "host", &err);
+    R->peer_node = (int32_t)dget_ll(d, "peer", &err);
+    R->flow = dget_ll(d, "flow", &err);
+    R->subflow = dget_ll(d, "subflow", &err);
+    R->tag = dget_ll(d, "tag", &err);
+    R->route_link = (int32_t)dget_ll(d, "route_link", &err);
+    R->ack_size = dget_ll(d, "ack_size", &err);
+    R->rcv_nxt = dget_ll(d, "rcv_nxt", &err);
+    R->last_dack = dget_ll(d, "last_dack", &err);
+    R->st_segs = dget_ll(d, "st_segs", &err);
+    R->st_bytes = dget_ll(d, "st_bytes", &err);
+    R->st_dups = dget_ll(d, "st_dups", &err);
+    R->st_ooo = dget_ll(d, "st_ooo", &err);
+    R->st_acks = dget_ll(d, "st_acks", &err);
+    if (err)
+        return NULL;
+    Py_ssize_t n = PyList_GET_SIZE(ooo_list);
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *item = PyList_GET_ITEM(ooo_list, i);
+        long long oseq, olen, odsn;
+        if (!PyArg_ParseTuple(item, "LLL", &oseq, &olen, &odsn))
+            return NULL;
+        if (ooo_insert_if_absent(R, (int64_t)oseq, (int64_t)olen, (int64_t)odsn) < 0)
+            return NULL;
+    }
+    return PyLong_FromLong(self->nrcv++);
+}
+
+static PyObject *
+scene_add_event(SceneObject *self, PyObject *args)
+{
+    int kind, idx;
+    double t;
+    long long seq;
+    if (!PyArg_ParseTuple(args, "idLi", &kind, &t, &seq, &idx))
+        return NULL;
+    if (ev_push(self, t, (int64_t)seq, kind, idx) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+scene_set_clock(SceneObject *self, PyObject *args)
+{
+    double now;
+    long long seq;
+    long long pool_len = 0, pool_cap = 0;
+    if (!PyArg_ParseTuple(args, "dL|LL", &now, &seq, &pool_len, &pool_cap))
+        return NULL;
+    self->now = now;
+    self->seq = (int64_t)seq;
+    self->pool_len = (int64_t)pool_len;
+    self->pool_cap = (int64_t)pool_cap;
+    Py_RETURN_NONE;
+}
+
+/* ---- exports ---- */
+
+static PyObject *
+export_packet(SceneObject *s, int32_t pi)
+{
+    CPkt *p = &s->arena[pi];
+    PyObject *sack;
+    if (p->nsack == 0) {
+        sack = PyTuple_New(0);
+    }
+    else {
+        sack = PyTuple_New(p->nsack);
+        if (sack == NULL)
+            return NULL;
+        for (int32_t b = 0; b < p->nsack; b++) {
+            PyObject *blk = Py_BuildValue("(LL)",
+                                          (long long)p->sack[2 * b],
+                                          (long long)p->sack[2 * b + 1]);
+            if (blk == NULL) {
+                Py_DECREF(sack);
+                return NULL;
+            }
+            PyTuple_SET_ITEM(sack, b, blk);
+        }
+    }
+    if (sack == NULL)
+        return NULL;
+    return Py_BuildValue(
+        "{s:i,s:i,s:L,s:L,s:L,s:L,s:L,s:L,s:i,s:L,s:L,s:L,s:i,s:N,s:d,s:d,s:d,s:L}",
+        "src", p->src, "dst", p->dst, "size", (long long)p->size,
+        "tag", (long long)p->tag, "flow", (long long)p->flow,
+        "subflow", (long long)p->subflow, "seq", (long long)p->seq,
+        "payload", (long long)p->payload, "is_ack", (int)p->is_ack,
+        "ack", (long long)p->ack, "dsn", (long long)p->dsn,
+        "dack", (long long)p->dack, "is_retx", (int)p->is_retx,
+        "sack", sack, "ts_echo", p->ts_echo, "created_at", p->created_at,
+        "enqueued_at", p->enqueued_at, "hops", (long long)p->hops);
+}
+
+static PyObject *
+scene_export_clock(SceneObject *self, PyObject *Py_UNUSED(ignored))
+{
+    return Py_BuildValue("(dLLL)", self->now, (long long)self->seq,
+                         (long long)self->processed,
+                         (long long)self->pool_len);
+}
+
+static PyObject *
+scene_export_events(SceneObject *self, PyObject *Py_UNUSED(ignored))
+{
+    PyObject *out = PyList_New(self->hlen);
+    if (out == NULL)
+        return NULL;
+    for (Py_ssize_t i = 0; i < self->hlen; i++) {
+        PEv *e = &self->heap[i];
+        int32_t kind = e->kind;
+        if (kind == EV_RTO &&
+            (!self->snds[e->idx].rto_live || e->seq != self->snds[e->idx].rto_seq))
+            kind = EV_CANCELLED;
+        PyObject *item = Py_BuildValue("(idLi)", kind, e->t, (long long)e->seq, e->idx);
+        if (item == NULL) {
+            Py_DECREF(out);
+            return NULL;
+        }
+        PyList_SET_ITEM(out, i, item);
+    }
+    return out;
+}
+
+static PyObject *
+scene_export_node(SceneObject *self, PyObject *args)
+{
+    int i;
+    if (!PyArg_ParseTuple(args, "i", &i))
+        return NULL;
+    if (i < 0 || i >= self->nnodes) {
+        PyErr_SetString(PyExc_IndexError, "node index out of range");
+        return NULL;
+    }
+    NStats *st = &self->nodes[i].stats;
+    return Py_BuildValue("(LLLL)", (long long)st->received, (long long)st->forwarded,
+                         (long long)st->delivered, (long long)st->routing_drops);
+}
+
+static PyObject *
+scene_export_fwd_hits(SceneObject *self, PyObject *args)
+{
+    int i;
+    if (!PyArg_ParseTuple(args, "i", &i))
+        return NULL;
+    if (i < 0 || i >= self->nnodes) {
+        PyErr_SetString(PyExc_IndexError, "node index out of range");
+        return NULL;
+    }
+    CNode *N = &self->nodes[i];
+    PyObject *out = PyList_New(N->nfwd);
+    if (out == NULL)
+        return NULL;
+    for (int32_t f = 0; f < N->nfwd; f++) {
+        FwdEnt *e = &N->fwd[f];
+        PyObject *item = Py_BuildValue("(iLiL)", e->dst, (long long)e->tag,
+                                       e->link, (long long)e->hits);
+        if (item == NULL) {
+            Py_DECREF(out);
+            return NULL;
+        }
+        PyList_SET_ITEM(out, f, item);
+    }
+    return out;
+}
+
+static PyObject *
+scene_export_link(SceneObject *self, PyObject *args)
+{
+    int i;
+    if (!PyArg_ParseTuple(args, "i", &i))
+        return NULL;
+    if (i < 0 || i >= self->nlinks) {
+        PyErr_SetString(PyExc_IndexError, "link index out of range");
+        return NULL;
+    }
+    CLink *L = &self->links[i];
+    PyObject *q = PyList_New(L->q.len);
+    if (q == NULL)
+        return NULL;
+    for (int32_t j = 0; j < L->q.len; j++) {
+        PyObject *pkt = export_packet(self, ring_get(&L->q, j));
+        if (pkt == NULL) {
+            Py_DECREF(q);
+            return NULL;
+        }
+        PyList_SET_ITEM(q, j, pkt);
+    }
+    PyObject *fl = PyList_New(L->fl.len);
+    if (fl == NULL) {
+        Py_DECREF(q);
+        return NULL;
+    }
+    for (int32_t j = 0; j < L->fl.len; j++) {
+        PyObject *pkt = export_packet(self, ring_get(&L->fl, j));
+        if (pkt == NULL) {
+            Py_DECREF(q);
+            Py_DECREF(fl);
+            return NULL;
+        }
+        PyList_SET_ITEM(fl, j, pkt);
+    }
+    return Py_BuildValue(
+        "{s:d,s:i,s:d,s:L,s:L,s:L,s:d,s:L,s:L,s:L,s:L,s:L,s:L,s:L,s:N,s:N}",
+        "busy_until", L->busy_until, "serving", (int)L->serving,
+        "serve_at", L->serve_at,
+        "pkts_sent", (long long)L->stats.pkts_sent,
+        "bytes_sent", (long long)L->stats.bytes_sent,
+        "pkts_dropped", (long long)L->stats.pkts_dropped,
+        "busy_time", L->stats.busy_time,
+        "q_enqueued", (long long)L->qstats.enq,
+        "q_dequeued", (long long)L->qstats.deq,
+        "q_dropped", (long long)L->qstats.dropped,
+        "q_bytes_enqueued", (long long)L->qstats.bytes_enq,
+        "q_bytes_dropped", (long long)L->qstats.bytes_drop,
+        "q_max_depth", (long long)L->qstats.max_depth,
+        "qbytes", (long long)L->qbytes,
+        "queue", q, "in_flight", fl);
+}
+
+static PyObject *
+scene_export_sender(SceneObject *self, PyObject *args)
+{
+    int i;
+    if (!PyArg_ParseTuple(args, "i", &i))
+        return NULL;
+    if (i < 0 || i >= self->nsnd) {
+        PyErr_SetString(PyExc_IndexError, "sender index out of range");
+        return NULL;
+    }
+    CSender *S = &self->snds[i];
+    PyObject *segs = PyList_New(S->segs.len);
+    if (segs == NULL)
+        return NULL;
+    for (int32_t j = 0; j < S->segs.len; j++) {
+        CSeg *g = seg_at(&S->segs, j);
+        PyObject *item = Py_BuildValue(
+            "(LLLdiiiii)", (long long)g->seq, (long long)g->length,
+            (long long)g->dsn, g->sent_at, (int)g->retransmitted,
+            (int)g->sacked, (int)g->lost, (int)g->lost_pending,
+            (int)g->retx_in_recovery);
+        if (item == NULL) {
+            Py_DECREF(segs);
+            return NULL;
+        }
+        PyList_SET_ITEM(segs, j, item);
+    }
+    return Py_BuildValue(
+        "{s:L,s:L,s:L,s:d,"
+        "s:d,s:d,s:d,s:d,s:i,s:i,s:i,s:L,s:d,"
+        "s:d,s:d,s:d,s:L,s:L,s:L,"
+        "s:d,s:d,s:d,s:i,s:d,s:d,s:d,s:i,"
+        "s:L,s:L,s:L,s:L,s:L,s:i,s:L,"
+        "s:i,s:L,s:d,s:d,s:d,s:i,"
+        "s:L,s:L,s:L,s:L,s:L,s:L,s:L,s:N}",
+        "total_bytes", (long long)S->total_bytes,
+        "offset", (long long)S->offset,
+        "prov_acked", (long long)S->prov_acked,
+        "prov_last_ack", S->prov_last_ack,
+        "srtt", S->srtt, "rttvar", S->rttvar, "rtt_min", S->rtt_min,
+        "latest", S->latest, "has_srtt", (int)S->has_srtt,
+        "has_min", (int)S->has_min, "has_latest", (int)S->has_latest,
+        "samples", (long long)S->samples, "rto_cache", S->rto_cache,
+        "cwnd", S->cwnd, "ssthresh", S->ssthresh, "cc_srtt", S->cc_srtt,
+        "losses", (long long)S->losses, "cc_timeouts", (long long)S->cc_timeouts,
+        "acked_total", (long long)S->acked_total,
+        "w_max", S->w_max, "k", S->k, "epoch_start", S->epoch_start,
+        "has_epoch", (int)S->has_epoch, "w_est", S->w_est,
+        "acks_in_epoch", S->acks_in_epoch, "cc_min_rtt", S->cc_min_rtt,
+        "has_cc_min", (int)S->has_cc_min,
+        "snd_una", (long long)S->snd_una, "snd_nxt", (long long)S->snd_nxt,
+        "sacked_bytes", (long long)S->sacked_bytes,
+        "lost_pending_bytes", (long long)S->lost_pending_bytes,
+        "dupacks", (long long)S->dupacks,
+        "in_recovery", (int)S->in_recovery,
+        "recover", (long long)S->recover,
+        "rto_live", (int)S->rto_live, "rto_seq", (long long)S->rto_seq,
+        "rto_deadline", S->rto_deadline, "rto_fire_at", S->rto_fire_at,
+        "rto_backoff", S->rto_backoff, "started", (int)S->started,
+        "st_segments_sent", (long long)S->st_segments_sent,
+        "st_bytes_sent", (long long)S->st_bytes_sent,
+        "st_bytes_acked", (long long)S->st_bytes_acked,
+        "st_retrans", (long long)S->st_retrans,
+        "st_fast_retrans", (long long)S->st_fast_retrans,
+        "st_timeouts", (long long)S->st_timeouts,
+        "st_dupacks", (long long)S->st_dupacks,
+        "segments", segs);
+}
+
+static PyObject *
+scene_export_receiver(SceneObject *self, PyObject *args)
+{
+    int i;
+    if (!PyArg_ParseTuple(args, "i", &i))
+        return NULL;
+    if (i < 0 || i >= self->nrcv) {
+        PyErr_SetString(PyExc_IndexError, "receiver index out of range");
+        return NULL;
+    }
+    CRecv *R = &self->rcvs[i];
+    PyObject *ooo = PyList_New(R->nooo);
+    if (ooo == NULL)
+        return NULL;
+    for (int32_t j = 0; j < R->nooo; j++) {
+        PyObject *item = Py_BuildValue("(LLL)", (long long)R->ooo[j].seq,
+                                       (long long)R->ooo[j].length,
+                                       (long long)R->ooo[j].dsn);
+        if (item == NULL) {
+            Py_DECREF(ooo);
+            return NULL;
+        }
+        PyList_SET_ITEM(ooo, j, item);
+    }
+    return Py_BuildValue(
+        "{s:L,s:L,s:L,s:L,s:L,s:L,s:L,s:N}",
+        "rcv_nxt", (long long)R->rcv_nxt,
+        "last_dack", (long long)R->last_dack,
+        "st_segs", (long long)R->st_segs,
+        "st_bytes", (long long)R->st_bytes,
+        "st_dups", (long long)R->st_dups,
+        "st_ooo", (long long)R->st_ooo,
+        "st_acks", (long long)R->st_acks,
+        "ooo", ooo);
+}
+
+static PyObject *
+scene_export_capture(SceneObject *self, PyObject *args)
+{
+    int i;
+    if (!PyArg_ParseTuple(args, "i", &i))
+        return NULL;
+    if (i < 0 || i >= self->ncaps) {
+        PyErr_SetString(PyExc_IndexError, "capture index out of range");
+        return NULL;
+    }
+    CCap *C = &self->caps[i];
+    Py_ssize_t n = C->n;
+    return Py_BuildValue(
+        "{s:n,s:y#,s:y#,s:y#,s:y#,s:y#,s:y#,s:y#,s:y#,s:y#}",
+        "n", n,
+        "time", (const char *)C->c_time, n * (Py_ssize_t)sizeof(double),
+        "size", (const char *)C->c_size, n * (Py_ssize_t)sizeof(int64_t),
+        "payload", (const char *)C->c_payload, n * (Py_ssize_t)sizeof(int64_t),
+        "tag", (const char *)C->c_tag, n * (Py_ssize_t)sizeof(int64_t),
+        "flow", (const char *)C->c_flow, n * (Py_ssize_t)sizeof(int64_t),
+        "subflow", (const char *)C->c_sub, n * (Py_ssize_t)sizeof(int64_t),
+        "flags", (const char *)C->c_flags, n * (Py_ssize_t)sizeof(int8_t),
+        "seq", (const char *)C->c_seq, n * (Py_ssize_t)sizeof(int64_t),
+        "dsn", (const char *)C->c_dsn, n * (Py_ssize_t)sizeof(int64_t));
+}
+
+static PyMethodDef scene_methods[] = {
+    {"add_node", (PyCFunction)scene_add_node, METH_VARARGS,
+     "add_node(is_host, received, forwarded, delivered, routing_drops) -> idx"},
+    {"add_link", (PyCFunction)scene_add_link, METH_VARARGS,
+     "add_link(state_dict) -> idx"},
+    {"add_fwd", (PyCFunction)scene_add_fwd, METH_VARARGS,
+     "add_fwd(node, dst_node, tag, link)"},
+    {"add_capture", (PyCFunction)scene_add_capture, METH_VARARGS,
+     "add_capture(data_only, has_filter, filter) -> idx"},
+    {"attach_capture", (PyCFunction)scene_attach_capture, METH_VARARGS,
+     "attach_capture(node, capture_idx)"},
+    {"add_agent", (PyCFunction)scene_add_agent, METH_VARARGS,
+     "add_agent(node, flow, subflow, kind, idx)"},
+    {"add_sender", (PyCFunction)scene_add_sender, METH_VARARGS,
+     "add_sender(state_dict) -> idx"},
+    {"add_receiver", (PyCFunction)scene_add_receiver, METH_VARARGS,
+     "add_receiver(state_dict, ooo_list) -> idx"},
+    {"add_event", (PyCFunction)scene_add_event, METH_VARARGS,
+     "add_event(kind, t, seq, idx)"},
+    {"set_clock", (PyCFunction)scene_set_clock, METH_VARARGS,
+     "set_clock(now, seq)"},
+    {"run", (PyCFunction)scene_run, METH_VARARGS,
+     "run(until) -> events processed"},
+    {"export_clock", (PyCFunction)scene_export_clock, METH_NOARGS,
+     "-> (now, seq, processed)"},
+    {"export_events", (PyCFunction)scene_export_events, METH_NOARGS,
+     "-> [(kind, t, seq, idx), ...]"},
+    {"export_node", (PyCFunction)scene_export_node, METH_VARARGS,
+     "export_node(i) -> (received, forwarded, delivered, routing_drops)"},
+    {"export_fwd_hits", (PyCFunction)scene_export_fwd_hits, METH_VARARGS,
+     "export_fwd_hits(i) -> [(dst, tag, link, hits), ...]"},
+    {"export_link", (PyCFunction)scene_export_link, METH_VARARGS,
+     "export_link(i) -> state dict with queue/in_flight packet dicts"},
+    {"export_sender", (PyCFunction)scene_export_sender, METH_VARARGS,
+     "export_sender(i) -> state dict"},
+    {"export_receiver", (PyCFunction)scene_export_receiver, METH_VARARGS,
+     "export_receiver(i) -> state dict"},
+    {"export_capture", (PyCFunction)scene_export_capture, METH_VARARGS,
+     "export_capture(i) -> column bytes dict"},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyTypeObject SceneType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.kernel._ckernel.Scene",
+    .tp_basicsize = sizeof(SceneObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT,
+    .tp_doc = "Fully native single-path TCP pipeline (import/run/export).",
+    .tp_new = scene_new,
+    .tp_dealloc = (destructor)scene_dealloc,
+    .tp_methods = scene_methods,
+};
+
+/* ------------------------------------------------------------------ module */
+
+static PyModuleDef ckernel_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro.kernel._ckernel",
+    .m_doc = "Compiled event-loop kernel (engine + TCP pipeline).",
+    .m_size = -1,
+};
+
+PyMODINIT_FUNC
+PyInit__ckernel(void)
+{
+    if (PyType_Ready(&KernelEventType) < 0)
+        return NULL;
+    if (PyType_Ready(&KernelSimType) < 0)
+        return NULL;
+    if (PyType_Ready(&SceneType) < 0)
+        return NULL;
+    PyObject *mod = PyModule_Create(&ckernel_module);
+    if (mod == NULL)
+        return NULL;
+    if (PyModule_AddObjectRef(mod, "KernelEvent", (PyObject *)&KernelEventType) < 0 ||
+        PyModule_AddObjectRef(mod, "KernelSim", (PyObject *)&KernelSimType) < 0 ||
+        PyModule_AddObjectRef(mod, "Scene", (PyObject *)&SceneType) < 0 ||
+        PyModule_AddIntConstant(mod, "EV_DELIVER", EV_DELIVER) < 0 ||
+        PyModule_AddIntConstant(mod, "EV_SERVE", EV_SERVE) < 0 ||
+        PyModule_AddIntConstant(mod, "EV_RTO", EV_RTO) < 0 ||
+        PyModule_AddIntConstant(mod, "EV_START", EV_START) < 0 ||
+        PyModule_AddIntConstant(mod, "EV_CANCELLED", EV_CANCELLED) < 0 ||
+        PyModule_AddIntConstant(mod, "CC_RENO", CC_RENO) < 0 ||
+        PyModule_AddIntConstant(mod, "CC_CUBIC", CC_CUBIC) < 0 ||
+        PyModule_AddIntConstant(mod, "AGENT_SENDER", AGENT_SENDER) < 0 ||
+        PyModule_AddIntConstant(mod, "AGENT_RECEIVER", AGENT_RECEIVER) < 0) {
+        Py_DECREF(mod);
+        return NULL;
+    }
+    return mod;
+}

@@ -1,0 +1,758 @@
+"""Native-scene bypass for :meth:`repro.netsim.network.Network.run`.
+
+The compiled kernel cannot call back into Python per event, so instead of
+accelerating individual callbacks the whole simulation window is handed to
+the C extension: the network's current state (clock, pending events, links,
+queues, TCP agents, captures) is imported into a native ``Scene``, the
+window runs entirely in C, and the final state is written back onto the
+Python objects.  The bypass is exact -- every counter, queue entry, pending
+event, RTT estimate and capture row matches the pure-Python run bit for bit
+-- but it only understands the packet-level hot path the paper's scenarios
+exercise: static links with drop-tail queues, single-path TCP senders over
+bulk transfers, Reno or Cubic, tag/static routing.
+
+Anything else -- dynamic links, UDP or MPTCP agents, custom callbacks in
+the event heap, mid-flight state from an earlier window -- makes the scene
+ineligible: :func:`run_network` returns ``None`` and the caller falls back
+to the Python event loop.  Eligibility is checked conservatively with exact
+type tests, so a subclass with changed behaviour can never be captured by
+the native fast path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections import deque
+from heapq import heapify
+from typing import Optional
+
+from ..netsim import packet as packet_mod
+from ..netsim.capture import PacketCapture
+from ..netsim.engine import _POOL_LIMIT, Event, Simulator
+from ..netsim.link import Link
+from ..netsim.node import Host, Router
+from ..netsim.packet import Packet
+from ..netsim.queues import DropTailQueue
+from ..netsim.routing import StaticRoutingTable, TagRoutingTable
+from ..tcp.connection import BulkDataAdapter
+from ..tcp.cc.cubic import CubicCongestionControl
+from ..tcp.cc.reno import RenoCongestionControl
+from ..tcp.receiver import TcpReceiver
+from ..tcp.rtt import RttEstimator
+from ..tcp.sender import TcpSender, _SegmentInfo
+
+#: ``tag`` is Optional[int] on the Python side; the native scene stores
+#: int64, so None maps to a sentinel no real tag can collide with.
+_NO_TAG = -(1 << 60)
+
+
+def _tag_c(tag) -> Optional[int]:
+    """Python tag -> C tag, or None when the tag is not representable."""
+    if tag is None:
+        return _NO_TAG
+    if type(tag) is not int or not (-(1 << 59) < tag < (1 << 59)):
+        return None
+    return tag
+
+
+def _tag_py(tag: int):
+    return None if tag == _NO_TAG else tag
+
+
+class _Ineligible(Exception):
+    """Internal control flow: scene cannot be represented natively."""
+
+
+def _require(cond: bool) -> None:
+    if not cond:
+        raise _Ineligible
+
+
+def _int64(value) -> int:
+    _require(type(value) is int and -(1 << 62) < value < (1 << 62))
+    return value
+
+
+def _probe_route(network, routing, src_name: str, dst_name: str, tag):
+    """Resolve the full hop sequence ``src -> dst`` for ``(dst, tag)``.
+
+    Returns a list of ``(node_name, link)`` pairs (the link taken *from*
+    each node).  The probe packet only carries the fields the eligible
+    routing tables consult (``dst``/``tag``), so no packet id is consumed.
+    """
+    probe = Packet.__new__(Packet)
+    probe.dst = dst_name
+    probe.tag = tag
+    hops = []
+    current = src_name
+    for _ in range(len(network.nodes) + 1):
+        if current == dst_name:
+            return hops
+        next_hop = routing.next_hop(current, probe)
+        _require(next_hop is not None)
+        link = network.nodes[current].links.get(next_hop)
+        _require(link is not None)
+        hops.append((current, link))
+        current = next_hop
+    raise _Ineligible  # routing loop
+
+
+def _rtt_state(rtt: RttEstimator) -> dict:
+    srtt, min_rtt, latest = rtt.srtt, rtt.min_rtt, rtt.latest_rtt
+    return {
+        "alpha": rtt.alpha,
+        "beta": rtt.beta,
+        "min_rto": rtt.min_rto,
+        "max_rto": rtt.max_rto,
+        "srtt": 0.0 if srtt is None else srtt,
+        "rttvar": 0.0 if rtt.rttvar is None else rtt.rttvar,
+        "rtt_min": 0.0 if min_rtt is None else min_rtt,
+        "latest": 0.0 if latest is None else latest,
+        "has_srtt": 0 if srtt is None else 1,
+        "has_min": 0 if min_rtt is None else 1,
+        "has_latest": 0 if latest is None else 1,
+        "samples": rtt.samples,
+        "rto_cache": rtt._rto,
+    }
+
+
+def _cc_state(cc) -> dict:
+    if type(cc) is RenoCongestionControl:
+        kind = 0
+        extra = {
+            "fast_conv": 0,
+            "tcp_friendly": 0,
+            "hystart": 0,
+            "w_max": 0.0,
+            "k": 0.0,
+            "epoch_start": 0.0,
+            "has_epoch": 0,
+            "w_est": 0.0,
+            "acks_in_epoch": 0.0,
+            "cc_min_rtt": 0.0,
+            "has_cc_min": 0,
+        }
+    elif type(cc) is CubicCongestionControl:
+        kind = 1
+        epoch = cc._epoch_start
+        min_rtt = cc._min_rtt
+        extra = {
+            "fast_conv": 1 if cc.fast_convergence else 0,
+            "tcp_friendly": 1 if cc.tcp_friendliness else 0,
+            "hystart": 1 if cc.hystart else 0,
+            "w_max": cc._w_max,
+            "k": cc._k,
+            "epoch_start": 0.0 if epoch is None else epoch,
+            "has_epoch": 0 if epoch is None else 1,
+            "w_est": cc._w_est,
+            "acks_in_epoch": float(cc._acks_in_epoch),
+            "cc_min_rtt": 0.0 if min_rtt is None else min_rtt,
+            "has_cc_min": 0 if min_rtt is None else 1,
+        }
+    else:
+        raise _Ineligible
+    state = {
+        "cc_kind": kind,
+        "cc_mss": cc.mss,
+        "cwnd": cc.cwnd,
+        "ssthresh": cc.ssthresh,
+        "cc_srtt": cc.srtt,
+        "losses": cc.losses,
+        "cc_timeouts": cc.timeouts,
+        "acked_total": cc.acked_bytes_total,
+    }
+    state.update(extra)
+    return state
+
+
+class _Plan:
+    """Everything resolved during the eligibility walk, for the write-back."""
+
+    __slots__ = (
+        "node_list",
+        "node_idx",
+        "link_list",
+        "link_idx",
+        "senders",
+        "receivers",
+        "captures",
+        "start_events",
+        "cancelled",
+        "rversion",
+    )
+
+    def __init__(self) -> None:
+        self.node_list = []
+        self.node_idx = {}
+        self.link_list = []
+        self.link_idx = {}
+        self.senders = []  # (sender, route_link, memo_was_stale, sent_before)
+        self.receivers = []  # (receiver, route_link, memo_was_stale, acks_before)
+        self.captures = []  # PacketCapture, aligned with scene capture index
+        self.start_events = []  # (t, seq, sender)
+        self.cancelled = []  # (t, seq)
+        self.rversion = 0
+
+
+def _plan_scene(network, sim, entries) -> _Plan:
+    """Validate eligibility and collect the import plan (raises _Ineligible)."""
+    plan = _Plan()
+    routing = network.routing
+    _require(type(routing) in (TagRoutingTable, StaticRoutingTable))
+    _require(routing.hop_cache_safe())
+    plan.rversion = routing.version
+
+    now = sim.now
+    for name, node in network.nodes.items():
+        _require(type(node) in (Host, Router))
+        _require(node.routing is routing)
+        _require(node.sim is sim)
+        _require(node._hop_cache is not None)
+        plan.node_idx[name] = len(plan.node_list)
+        plan.node_list.append(node)
+
+    for link in network.links.values():
+        _require(type(link) is Link)
+        _require(link.sim is sim)
+        _require(link.up and not link._impaired and not link._dynamic)
+        _require(not link._deadlines)
+        _require(not link._serving and link._busy_until <= now)
+        _require(not link._in_flight)
+        _require(type(link.queue) is DropTailQueue)
+        _require(not link.queue._queue)
+        _require(link.src.name in plan.node_idx and link.dst.name in plan.node_idx)
+        plan.link_idx[id(link)] = len(plan.link_list)
+        plan.link_list.append(link)
+
+    # Transport agents: quiescent single-path TCP endpoints only.
+    sender_set = {}
+    for node in plan.node_list:
+        if not isinstance(node, Host):
+            continue
+        for agent in node._agents.values():
+            atype = type(agent)
+            if atype is TcpSender:
+                _require(agent.host is node and agent.sim is sim)
+                _require(type(agent.data_provider) is BulkDataAdapter)
+                _require(type(agent.rtt) is RttEstimator)
+                _require(agent.snd_una == agent.snd_nxt)
+                _require(not agent._segments and not agent._seg_queue)
+                _require(agent._rto_event is None)
+                _require(not agent._in_fast_recovery)
+                _require(agent._sacked_bytes == 0 and agent._lost_pending_bytes == 0)
+                _require(agent.on_idle is None)
+                _require(not agent.closed and not agent.path_down)
+                _require(agent._route_enabled)
+                _require(agent.dst in plan.node_idx)
+                _require(_tag_c(agent.tag) is not None)
+                _int64(agent.flow_id)
+                _int64(agent.subflow_id)
+                total = agent.data_provider.total_bytes
+                _require(total is None or type(total) is int)
+                sender_set[id(agent)] = len(plan.senders)
+                hops = _probe_route(network, routing, node.name, agent.dst, agent.tag)
+                _require(hops)
+                memo_stale = (
+                    agent._route_link is None
+                    or agent._route_version != plan.rversion
+                )
+                plan.senders.append(
+                    (agent, hops, memo_stale, agent.stats.segments_sent)
+                )
+            elif atype is TcpReceiver:
+                _require(agent.host is node and agent.sim is sim)
+                _require(agent.connection_sink is None)
+                _require(agent._route_enabled)
+                _require(agent.peer in plan.node_idx)
+                _require(_tag_c(agent.tag) is not None)
+                _int64(agent.flow_id)
+                _int64(agent.subflow_id)
+                for seq, (length, dsn) in agent._out_of_order.items():
+                    _int64(seq), _int64(length), _int64(dsn)
+                hops = _probe_route(network, routing, node.name, agent.peer, agent.tag)
+                _require(hops)
+                memo_stale = (
+                    agent._route_link is None
+                    or agent._route_version != plan.rversion
+                )
+                plan.receivers.append(
+                    (agent, hops, memo_stale, agent.stats.acks_sent)
+                )
+            else:
+                raise _Ineligible
+
+    # Captures: stock PacketCapture taps only.
+    for node in plan.node_list:
+        if not isinstance(node, Host):
+            continue
+        for cb in node._captures:
+            func = getattr(cb, "__func__", None)
+            _require(func is PacketCapture.on_packet)
+            cap = cb.__self__
+            _require(type(cap) is PacketCapture)
+            _require(cap.flow_id is None or type(cap.flow_id) is int)
+
+    # Pending events: only cancelled entries and TcpSender.start handles.
+    for t, seq, cb, cb_args in entries:
+        if cb is None:
+            plan.cancelled.append((t, seq))
+            continue
+        func = getattr(cb, "__func__", None)
+        _require(func is TcpSender.start and cb_args == ())
+        sender = cb.__self__
+        _require(id(sender) in sender_set)
+        plan.start_events.append((t, seq, sender))
+
+    return plan
+
+
+def _build_scene(ext, network, sim, plan, entries_pool_len: int):
+    from ..units import HEADER_SIZE
+
+    scene = ext.Scene(header_size=HEADER_SIZE)
+    for node in plan.node_list:
+        st = node.stats
+        idx = scene.add_node(
+            isinstance(node, Host),
+            st.received,
+            st.forwarded,
+            st.delivered,
+            st.routing_drops,
+        )
+        assert idx == plan.node_idx[node.name]
+
+    for link in plan.link_list:
+        st, qst = link.stats, link.queue.stats
+        scene.add_link(
+            {
+                "src": plan.node_idx[link.src.name],
+                "dst": plan.node_idx[link.dst.name],
+                "rate_bps": link.rate_bps,
+                "delay": link.delay,
+                "qcap": link.queue.capacity_packets,
+                "busy_until": link._busy_until,
+                "serve_at": link._serve_at,
+                "pkts_sent": st.packets_sent,
+                "bytes_sent": st.bytes_sent,
+                "pkts_dropped": st.packets_dropped,
+                "busy_time": st.busy_time,
+                "q_enqueued": qst.enqueued,
+                "q_dequeued": qst.dequeued,
+                "q_dropped": qst.dropped,
+                "q_bytes_enqueued": qst.bytes_enqueued,
+                "q_bytes_dropped": qst.bytes_dropped,
+                "q_max_depth": qst.max_depth,
+                "qbytes": link.queue._bytes,
+            }
+        )
+
+    # Forwarding entries: every intermediate hop of every probed route.
+    # The packet's destination terminates the walk; every node before it
+    # (except the origin, which sends via the agent's route memo) forwards
+    # through its probed link.
+    fwd_seen = set()
+    for agent, hops, _stale, _before in plan.senders + plan.receivers:
+        dst_idx = plan.node_idx[agent.dst if type(agent) is TcpSender else agent.peer]
+        tag_c = _tag_c(agent.tag)
+        for node_name, link in hops[1:]:
+            key = (plan.node_idx[node_name], dst_idx, tag_c)
+            if key in fwd_seen:
+                continue
+            fwd_seen.add(key)
+            scene.add_fwd(key[0], dst_idx, tag_c, plan.link_idx[id(link)])
+
+    # Captures (deduped: one scene capture per PacketCapture object).
+    cap_idx_by_id = {}
+    for node in plan.node_list:
+        if not isinstance(node, Host):
+            continue
+        for cb in node._captures:
+            cap = cb.__self__
+            idx = cap_idx_by_id.get(id(cap))
+            if idx is None:
+                idx = scene.add_capture(
+                    cap.data_only,
+                    cap.flow_id is not None,
+                    -1 if cap.flow_id is None else cap.flow_id,
+                )
+                cap_idx_by_id[id(cap)] = idx
+                plan.captures.append(cap)
+            scene.attach_capture(plan.node_idx[node.name], idx)
+
+    for i, (snd, hops, _stale, _before) in enumerate(plan.senders):
+        prov = snd.data_provider
+        total = prov.total_bytes
+        state = {
+            "host": plan.node_idx[snd.host.name],
+            "dst": plan.node_idx[snd.dst],
+            "flow": snd.flow_id,
+            "subflow": snd.subflow_id,
+            "tag": _tag_c(snd.tag),
+            "route_link": plan.link_idx[id(hops[0][1])],
+            "mss": snd.mss,
+            "total_bytes": -1 if total is None else total,
+            "offset": prov.offset,
+            "prov_acked": prov.acked_bytes,
+            "prov_last_ack": prov.last_ack_time,
+            "snd_una": snd.snd_una,
+            "snd_nxt": snd.snd_nxt,
+            "sacked_bytes": snd._sacked_bytes,
+            "lost_pending_bytes": snd._lost_pending_bytes,
+            "dupacks": snd._dupacks,
+            "in_recovery": 0,
+            "recover": snd._recover,
+            "rto_backoff": snd._rto_backoff,
+            "rto_deadline": snd._rto_deadline,
+            "rto_fire_at": snd._rto_fire_at,
+            "started": 1 if snd._started else 0,
+            "closed": 0,
+            "st_segments_sent": snd.stats.segments_sent,
+            "st_bytes_sent": snd.stats.bytes_sent,
+            "st_bytes_acked": snd.stats.bytes_acked,
+            "st_retrans": snd.stats.retransmissions,
+            "st_fast_retrans": snd.stats.fast_retransmits,
+            "st_timeouts": snd.stats.timeouts,
+            "st_dupacks": snd.stats.dupacks,
+        }
+        state.update(_rtt_state(snd.rtt))
+        state.update(_cc_state(snd.cc))
+        idx = scene.add_sender(state)
+        assert idx == i
+        scene.add_agent(
+            plan.node_idx[snd.host.name], snd.flow_id, snd.subflow_id, 0, idx
+        )
+
+    for i, (rcv, hops, _stale, _before) in enumerate(plan.receivers):
+        state = {
+            "host": plan.node_idx[rcv.host.name],
+            "peer": plan.node_idx[rcv.peer],
+            "flow": rcv.flow_id,
+            "subflow": rcv.subflow_id,
+            "tag": _tag_c(rcv.tag),
+            "route_link": plan.link_idx[id(hops[0][1])],
+            "ack_size": rcv.ack_size,
+            "rcv_nxt": rcv.rcv_nxt,
+            "last_dack": rcv._last_dack,
+            "st_segs": rcv.stats.segments_received,
+            "st_bytes": rcv.stats.bytes_received,
+            "st_dups": rcv.stats.duplicates,
+            "st_ooo": rcv.stats.out_of_order,
+            "st_acks": rcv.stats.acks_sent,
+        }
+        ooo = [
+            (seq, length, dsn)
+            for seq, (length, dsn) in sorted(rcv._out_of_order.items())
+        ]
+        idx = scene.add_receiver(state, ooo)
+        assert idx == i
+        scene.add_agent(
+            plan.node_idx[rcv.host.name], rcv.flow_id, rcv.subflow_id, 1, idx
+        )
+
+    sender_pos = {id(s): i for i, (s, _h, _m, _b) in enumerate(plan.senders)}
+    for t, seq in plan.cancelled:
+        scene.add_event(ext.EV_CANCELLED, t, seq, 0)
+    for t, seq, sender in plan.start_events:
+        scene.add_event(ext.EV_START, t, seq, sender_pos[id(sender)])
+
+    scene.set_clock(sim.now, sim._seq, entries_pool_len, _POOL_LIMIT)
+    return scene
+
+
+def _mk_packet(d: dict, node_list, pid: int) -> Packet:
+    p = Packet.__new__(Packet)
+    p.packet_id = pid
+    p.src = node_list[d["src"]].name
+    p.dst = node_list[d["dst"]].name
+    p.size = d["size"]
+    p.tag = _tag_py(d["tag"])
+    p.flow_id = d["flow"]
+    p.subflow_id = d["subflow"]
+    p.protocol = "tcp"
+    p.seq = d["seq"]
+    p.payload_len = d["payload"]
+    p.is_ack = bool(d["is_ack"])
+    p.ack = d["ack"]
+    p.dsn = d["dsn"]
+    p.dack = d["dack"]
+    p.is_retransmission = bool(d["is_retx"])
+    p.sack_blocks = d["sack"]
+    p.ts_echo = d["ts_echo"]
+    p.created_at = d["created_at"]
+    p.enqueued_at = d["enqueued_at"]
+    p.hops = d["hops"]
+    p.ecn = False
+    # Rebuilt wire/queue packets were pool-acquired in the Python run, but
+    # re-pooling them here could alias a live object if the caller keeps a
+    # reference; constructor semantics (never pooled) are the safe subset.
+    p._poolable = False
+    return p
+
+
+def _write_back(ext, network, sim, plan, scene, is_ksim: bool) -> float:
+    routing = network.routing
+    rversion = plan.rversion
+    now, seq, processed, pool_len = scene.export_clock()
+
+    # -- transport agents (before the heap: live RTO events attach handles)
+    acquires = 0
+    for i, (snd, hops, memo_stale, sent_before) in enumerate(plan.senders):
+        st = scene.export_sender(i)
+        prov = snd.data_provider
+        prov.offset = st["offset"]
+        prov.acked_bytes = st["prov_acked"]
+        prov.last_ack_time = st["prov_last_ack"]
+        rtt = snd.rtt
+        rtt.srtt = st["srtt"] if st["has_srtt"] else None
+        rtt.rttvar = st["rttvar"] if st["has_srtt"] else None
+        rtt.min_rtt = st["rtt_min"] if st["has_min"] else None
+        rtt.latest_rtt = st["latest"] if st["has_latest"] else None
+        rtt.samples = st["samples"]
+        rtt._rto = st["rto_cache"]
+        cc = snd.cc
+        cc.cwnd = st["cwnd"]
+        cc.ssthresh = st["ssthresh"]
+        cc.srtt = st["cc_srtt"]
+        cc.losses = st["losses"]
+        cc.timeouts = st["cc_timeouts"]
+        cc.acked_bytes_total = st["acked_total"]
+        if type(cc) is CubicCongestionControl:
+            cc._w_max = st["w_max"]
+            cc._k = st["k"]
+            cc._epoch_start = st["epoch_start"] if st["has_epoch"] else None
+            cc._w_est = st["w_est"]
+            cc._acks_in_epoch = st["acks_in_epoch"]
+            cc._min_rtt = st["cc_min_rtt"] if st["has_cc_min"] else None
+        snd.snd_una = st["snd_una"]
+        snd.snd_nxt = st["snd_nxt"]
+        segments = {}
+        seg_queue = deque()
+        for sseq, length, dsn, sent_at, retx, sacked, lost, lostp, rir in st["segments"]:
+            info = _SegmentInfo(sseq, length, dsn, sent_at)
+            info.retransmitted = bool(retx)
+            info.sacked = bool(sacked)
+            info.lost = bool(lost)
+            info.lost_pending = bool(lostp)
+            info.retx_in_recovery = bool(rir)
+            segments[sseq] = info
+            seg_queue.append(info)
+        snd._segments = segments
+        snd._seg_queue = seg_queue
+        snd._sacked_bytes = st["sacked_bytes"]
+        snd._lost_pending_bytes = st["lost_pending_bytes"]
+        snd._dupacks = st["dupacks"]
+        snd._in_fast_recovery = bool(st["in_recovery"])
+        snd._recover = st["recover"]
+        snd._rto_event = None  # live RTO handle re-attached by the heap pass
+        snd._rto_deadline = st["rto_deadline"]
+        snd._rto_fire_at = st["rto_fire_at"]
+        snd._rto_backoff = st["rto_backoff"]
+        snd._started = bool(st["started"])
+        s = snd.stats
+        sent_delta = st["st_segments_sent"] - sent_before
+        acquires += sent_delta
+        s.segments_sent = st["st_segments_sent"]
+        s.bytes_sent = st["st_bytes_sent"]
+        s.bytes_acked = st["st_bytes_acked"]
+        s.retransmissions = st["st_retrans"]
+        s.fast_retransmits = st["st_fast_retrans"]
+        s.timeouts = st["st_timeouts"]
+        s.dupacks = st["st_dupacks"]
+        if sent_delta > 0:
+            snd._route_link = hops[0][1]
+            snd._route_version = rversion
+            if memo_stale:
+                # The first Python send would have gone through Node.send,
+                # syncing the host cache version and memoising the hop.
+                host = snd.host
+                if host._hop_version != rversion:
+                    host._hop_cache.clear()
+                    host._hop_version = rversion
+                host._hop_cache[snd._route_key] = hops[0][1]
+
+    for i, (rcv, hops, memo_stale, acks_before) in enumerate(plan.receivers):
+        st = scene.export_receiver(i)
+        rcv.rcv_nxt = st["rcv_nxt"]
+        rcv._last_dack = st["last_dack"]
+        rcv._out_of_order = {seq_: (length, dsn) for seq_, length, dsn in st["ooo"]}
+        s = rcv.stats
+        acks_delta = st["st_acks"] - acks_before
+        acquires += acks_delta
+        s.segments_received = st["st_segs"]
+        s.bytes_received = st["st_bytes"]
+        s.duplicates = st["st_dups"]
+        s.out_of_order = st["st_ooo"]
+        s.acks_sent = st["st_acks"]
+        if acks_delta > 0:
+            rcv._route_link = hops[0][1]
+            rcv._route_version = rversion
+            if memo_stale:
+                host = rcv.host
+                if host._hop_version != rversion:
+                    host._hop_cache.clear()
+                    host._hop_version = rversion
+                host._hop_cache[rcv._route_key] = hops[0][1]
+
+    # -- node stats and hop caches (only routes actually traversed)
+    for i, node in enumerate(plan.node_list):
+        received, forwarded, delivered, rdrops = scene.export_node(i)
+        st = node.stats
+        st.received = received
+        st.forwarded = forwarded
+        st.delivered = delivered
+        st.routing_drops = rdrops
+        hit_entries = [
+            (dst, tag, link)
+            for dst, tag, link, hits in scene.export_fwd_hits(i)
+            if hits > 0
+        ]
+        if hit_entries:
+            if node._hop_version != rversion:
+                node._hop_cache.clear()
+                node._hop_version = rversion
+            for dst, tag, link in hit_entries:
+                key = (plan.node_list[dst].name, _tag_py(tag))
+                node._hop_cache[key] = plan.link_list[link]
+
+    # -- packet id counter: mirror the ids the Python run would have burned
+    next_id = next(packet_mod._packet_counter)
+    pid = next_id
+
+    # -- links (queue contents and in-flight packets rebuilt)
+    for i, link in enumerate(plan.link_list):
+        st = scene.export_link(i)
+        link._busy_until = st["busy_until"]
+        link._serving = bool(st["serving"])
+        link._serve_at = st["serve_at"]
+        ls = link.stats
+        ls.packets_sent = st["pkts_sent"]
+        ls.bytes_sent = st["bytes_sent"]
+        ls.packets_dropped = st["pkts_dropped"]
+        ls.busy_time = st["busy_time"]
+        qs = link.queue.stats
+        qs.enqueued = st["q_enqueued"]
+        qs.dequeued = st["q_dequeued"]
+        qs.dropped = st["q_dropped"]
+        qs.bytes_enqueued = st["q_bytes_enqueued"]
+        qs.bytes_dropped = st["q_bytes_dropped"]
+        qs.max_depth = st["q_max_depth"]
+        link.queue._bytes = st["qbytes"]
+        node_list = plan.node_list
+        q = link.queue._queue
+        q.clear()
+        for d in st["queue"]:
+            q.append(_mk_packet(d, node_list, pid))
+            pid += 1
+        fl = link._in_flight
+        fl.clear()
+        for d in st["in_flight"]:
+            fl.append(_mk_packet(d, node_list, pid))
+            pid += 1
+    packet_mod._packet_counter = itertools.count(next_id + acquires)
+
+    # -- captures (append-only columns; C rows are this window's packets)
+    for idx, cap in enumerate(plan.captures):
+        cols = scene.export_capture(idx)
+        if cols["n"]:
+            cap._time.frombytes(cols["time"])
+            cap._size.frombytes(cols["size"])
+            cap._payload.frombytes(cols["payload"])
+            cap._tag.frombytes(cols["tag"])
+            cap._flow.frombytes(cols["flow"])
+            cap._subflow.frombytes(cols["subflow"])
+            cap._flags.frombytes(cols["flags"])
+            cap._seq.frombytes(cols["seq"])
+            cap._dsn.frombytes(cols["dsn"])
+            cap._record_cache = None
+
+    # -- clock and pending events
+    sender_list = [s for s, _h, _m, _b in plan.senders]
+    events = scene.export_events()
+    if is_ksim:
+        sim._clear_pending()
+        for kind, t, eseq, idx in events:
+            if kind == ext.EV_CANCELLED:
+                sim._push_entry(t, eseq, None, ())
+            elif kind == ext.EV_DELIVER:
+                sim._push_entry(t, eseq, plan.link_list[idx]._deliver, ())
+            elif kind == ext.EV_SERVE:
+                sim._push_entry(t, eseq, plan.link_list[idx]._serve_queue, ())
+            elif kind == ext.EV_RTO:
+                handle = sim._push_entry(t, eseq, sender_list[idx]._fire_rto, ())
+                sender_list[idx]._rto_event = handle
+            elif kind == ext.EV_START:
+                sim._push_entry(t, eseq, sender_list[idx].start, ())
+            else:  # pragma: no cover - defensive
+                raise RuntimeError("unknown exported event kind")
+        sim._advance(now, seq, processed)
+    else:
+        heap = []
+        for kind, t, eseq, idx in events:
+            if kind == ext.EV_CANCELLED:
+                heap.append([t, eseq, None, ()])
+            elif kind == ext.EV_DELIVER:
+                heap.append([t, eseq, plan.link_list[idx]._deliver, ()])
+            elif kind == ext.EV_SERVE:
+                heap.append([t, eseq, plan.link_list[idx]._serve_queue, ()])
+            elif kind == ext.EV_RTO:
+                snd = sender_list[idx]
+                entry = [t, eseq, snd._fire_rto, ()]
+                heap.append(entry)
+                snd._rto_event = Event(entry)
+            elif kind == ext.EV_START:
+                heap.append([t, eseq, sender_list[idx].start, ()])
+            else:  # pragma: no cover - defensive
+                raise RuntimeError("unknown exported event kind")
+        heapify(heap)
+        sim._heap = heap
+        pool = sim._pool
+        pool.clear()
+        for _ in range(pool_len):
+            pool.append([0.0, -1, None, ()])
+        sim.now = now
+        sim._seq = seq
+        sim.events_processed += processed
+        sim._stopped = False
+    return now
+
+
+def run_network(network, until: float, ext) -> Optional[float]:
+    """Run ``network`` up to ``until`` natively; None means "fall back".
+
+    On success the network's Python state is exactly what the pure-Python
+    event loop would have produced and the final simulation time is
+    returned.  On ineligibility nothing has been touched.
+    """
+    sim = network.sim
+    ksim_type = getattr(ext, "KernelSim", None)
+    is_ksim = ksim_type is not None and type(sim) is ksim_type
+    if is_ksim:
+        if sim._running:
+            return None
+        entries = sim._export_entries()
+        pool_len = 0
+    elif type(sim) is Simulator:
+        if sim._running:
+            return None
+        entries = sim._heap
+        pool_len = len(sim._pool)
+    else:
+        return None
+    if not math.isfinite(until):
+        return None
+
+    try:
+        plan = _plan_scene(network, sim, entries)
+        scene = _build_scene(ext, network, sim, plan, pool_len)
+    except _Ineligible:
+        return None
+
+    # From here on any error is a bug, but the scene owns all mutated
+    # state: the Python network is untouched, so falling back is safe.
+    try:
+        scene.run(until)
+    except Exception:
+        return None
+
+    return _write_back(ext, network, sim, plan, scene, is_ksim)

@@ -1,0 +1,103 @@
+"""Bench-baseline bookkeeping shared by the CLI and the regression guard.
+
+The repository records benchmark baselines per kernel (see
+:mod:`repro.kernel`): ``benchmarks/BENCH_engine.json`` holds the
+compiled-kernel timings (the performance contract of the compiled event
+loop) and ``benchmarks/BENCH_engine_python.json`` the pure-Python ones, so
+a fallback environment without a C compiler is guarded against the right
+trajectory instead of the compiled targets.
+
+Two consumers share this module:
+
+* ``benchmarks/check_regression.py`` selects the baseline matching the
+  active kernel and *warns* on environment drift before re-timing;
+* ``repro.cli info`` *reports* the same drift as a status, so "are these
+  baselines comparable to my machine?" is answerable without running the
+  benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+from typing import Dict, List, Optional, Union
+
+__all__ = [
+    "baseline_basename",
+    "environment_drift",
+    "find_baseline",
+    "load_baseline",
+    "running_environment",
+]
+
+#: Compiled-kernel baseline (the historical file name keeps its role as the
+#: primary performance contract).
+BASELINE_BASENAME = "BENCH_engine.json"
+#: Pure-Python fallback baseline.
+PYTHON_BASELINE_BASENAME = "BENCH_engine_python.json"
+
+
+def baseline_basename(kernel: str) -> str:
+    """The baseline file guarding ``kernel`` timings."""
+    return BASELINE_BASENAME if kernel == "compiled" else PYTHON_BASELINE_BASENAME
+
+
+def find_baseline(
+    kernel: str, explicit: Union[str, pathlib.Path, None] = None
+) -> Optional[pathlib.Path]:
+    """Locate the baseline file for ``kernel``; None when absent.
+
+    Searches an explicitly given path first, then ``benchmarks/`` under the
+    current directory and under the repository root (derived from this
+    package's location -- absent for wheel installs, which carry no
+    benchmark data).
+    """
+    if explicit is not None:
+        path = pathlib.Path(explicit)
+        return path if path.is_file() else None
+    name = baseline_basename(kernel)
+    candidates = [
+        pathlib.Path.cwd() / "benchmarks" / name,
+        pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / name,
+    ]
+    for candidate in candidates:
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_baseline(path: Union[str, pathlib.Path]) -> dict:
+    return json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+
+
+def running_environment(kernel: Optional[str] = None) -> Dict[str, str]:
+    """The environment fields a baseline records, as of this process."""
+    running = {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+    }
+    if kernel is not None:
+        running["kernel"] = kernel
+    return running
+
+
+def environment_drift(
+    payload: dict, *, kernel: Optional[str] = None
+) -> List[str]:
+    """Mismatches between a baseline's recorded environment and this one.
+
+    Returns one human-readable message per drifted field (python version,
+    platform and -- when ``kernel`` is given -- the recording kernel); an
+    empty list means the baseline is directly comparable.  Fields the
+    baseline never recorded are not drift.
+    """
+    messages = []
+    for field, current in running_environment(kernel).items():
+        recorded = payload.get(field)
+        if recorded is not None and recorded != current:
+            messages.append(
+                f"baseline {field} is {recorded!r} but this run uses {current!r}"
+            )
+    return messages

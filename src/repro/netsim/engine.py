@@ -318,3 +318,20 @@ class Simulator:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Simulator(now={self.now:.6f}, pending={self.pending_events})"
+
+
+def make_simulator() -> "Simulator":
+    """Simulator honouring the active kernel selection.
+
+    Returns the compiled drop-in event loop (``KernelSim``) when the
+    compiled kernel is active and the pure-Python :class:`Simulator`
+    otherwise.  Both expose the same API and identical semantics; use this
+    instead of ``Simulator()`` wherever the caller has no reason to pin the
+    Python implementation.
+    """
+    from ..kernel import compiled_module  # lazy: kernel builds on first use
+
+    ext = compiled_module()
+    if ext is not None:
+        return ext.KernelSim()
+    return Simulator()

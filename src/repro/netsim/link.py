@@ -129,6 +129,7 @@ class Link:
         "_loss_rate",
         "_loss_until",
         "_loss_rng",
+        "_native_sim",
     )
 
     def __init__(
@@ -189,6 +190,11 @@ class Link:
         self._loss_rate = 0.0
         self._loss_until = 0.0
         self._loss_rng: Optional[random.Random] = None
+        # The inlined event pushes below reach into the Python simulator's
+        # heap/pool internals; a compiled simulator (repro.kernel KernelSim)
+        # exposes the same scheduling API but not those internals, so its
+        # links go through schedule_fast_at instead.
+        self._native_sim = not hasattr(sim, "_pool")
 
     # ------------------------------------------------------------------
     @property
@@ -235,6 +241,9 @@ class Link:
             if deadlines and deliver_at < deadlines[-1]:
                 deliver_at = deadlines[-1]
             deadlines.append(deliver_at)
+        if self._native_sim:
+            sim.schedule_fast_at(deliver_at, self._deliver)
+            return True
         pool = sim._pool
         if pool:
             entry = pool.pop()
@@ -292,6 +301,14 @@ class Link:
             if deadlines and deliver_at < deadlines[-1]:
                 deliver_at = deadlines[-1]
             deadlines.append(deliver_at)
+        if self._native_sim:
+            sim.schedule_fast_at(deliver_at, self._deliver)
+            if not queue._queue:
+                self._serving = False
+            else:
+                self._serve_at = tx_end
+                sim.schedule_fast_at(tx_end, self._serve_queue)
+            return
         pool = sim._pool
         if pool:
             entry = pool.pop()

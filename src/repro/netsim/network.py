@@ -13,7 +13,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tupl
 from ..errors import TopologyError
 from ..units import mbps
 from .capture import PacketCapture
-from .engine import Simulator
+from .engine import Simulator, make_simulator
 from .link import Link
 from .node import Host, Node, Router
 from .queues import make_queue
@@ -52,7 +52,7 @@ class Network:
         routing: Optional[RoutingTable] = None,
     ) -> None:
         self.topology = topology
-        self.sim = sim if sim is not None else Simulator()
+        self.sim = sim if sim is not None else make_simulator()
         if routing is None:
             fallback = StaticRoutingTable(topology.undirected_graph())
             routing = TagRoutingTable(fallback=fallback)
@@ -244,8 +244,20 @@ class Network:
 
     # ------------------------------------------------------------------ run
     def run(self, duration: float) -> float:
-        """Run the simulation for ``duration`` seconds (from the current time)."""
-        return self.sim.run(until=self.sim.now + duration)
+        """Run the simulation for ``duration`` seconds (from the current time).
+
+        When the compiled kernel is active and the whole window is
+        expressible natively (static links, single-path TCP, tag/static
+        routing -- see :mod:`repro.kernel.pipeline`), the run bypasses the
+        Python event loop entirely; results are byte-identical either way.
+        """
+        until = self.sim.now + duration
+        from ..kernel import maybe_run_network  # lazy: kernel builds on first use
+
+        result = maybe_run_network(self, until)
+        if result is not None:
+            return result
+        return self.sim.run(until=until)
 
     # ------------------------------------------------------------------ stats
     def link_utilization(self, a: str, b: str, duration: float) -> float:

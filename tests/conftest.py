@@ -17,6 +17,26 @@ def sim() -> Simulator:
     return Simulator()
 
 
+@pytest.fixture(params=["python", "compiled"])
+def each_kernel(request) -> str:
+    """Run the test once per kernel (``repro.kernel.override``).
+
+    Golden-equivalence suites use this to pin both the pure-Python and the
+    compiled kernel against the same golden files.  The ``compiled`` leg
+    skips (rather than silently passing on the Python fallback) when the
+    extension cannot be built, so a green run genuinely covered both.
+    """
+    from repro import kernel
+
+    mode = request.param
+    if mode == "compiled":
+        available, reason = kernel.compiled_available()
+        if not available:
+            pytest.skip(f"compiled kernel unavailable: {reason}")
+    with kernel.override(mode):
+        yield mode
+
+
 def make_chain_topology(
     capacity_mbps: float = 100.0,
     delay: float = 0.001,

@@ -569,12 +569,15 @@ class TestSchedulerFastDispatch:
         assert scheduler.allocate(StubConnection(), second, 1460) is None
 
 
+@pytest.mark.usefixtures("each_kernel")
 class TestGoldenPipelineEquivalence:
     """Every pinned scenario must reproduce its pre-fast-path output exactly.
 
     The golden file stores *all* float samples of every throughput series
     (JSON round-trips IEEE-754 doubles exactly), plus drop/retransmission
-    counters, generated before the protocol fast path landed.
+    counters, generated before the protocol fast path landed.  Parametrized
+    over both kernels (``each_kernel``): the compiled event loop must
+    reproduce the same bytes as the pure-Python reference.
     """
 
     @pytest.fixture(scope="class")

@@ -8,6 +8,8 @@ traffic-heavy scenarios *before* that refactor; these tests require the
 refactored tree to reproduce it bit-identically.
 """
 
+import pytest
+
 from repro.traffic import IperfClient, OnOffSource, UdpConstantBitRate, UdpSink
 from repro.workload import sources
 
@@ -32,8 +34,13 @@ class TestTrafficShims:
         assert onoff.OnOffSource is sources.OnOffSource
 
 
+@pytest.mark.usefixtures("each_kernel")
 class TestTrafficGoldenEquivalence:
-    """Every pinned traffic scenario must reproduce its pre-refactor output."""
+    """Every pinned traffic scenario must reproduce its pre-refactor output.
+
+    Parametrized over both kernels (``each_kernel``) so the compiled event
+    loop is pinned to the same golden bytes as the pure-Python reference.
+    """
 
     @classmethod
     def setup_class(cls):
