@@ -76,6 +76,25 @@ def multiflow_fairness_second() -> int:
     return result.events_processed
 
 
+def aqm_red_ecn_second() -> int:
+    """One simulated second of the RED+ECN fairness competition.
+
+    Exercises the AQM verdict path (per-arrival EWMA update, CE marking)
+    plus the transport's ECE echo and once-per-window reaction machinery.
+    AQM queues decline the compiled kernel's native bypass, so this figure
+    is the Python-handler rate every AQM sweep actually runs at under
+    either kernel.
+    """
+    from repro.experiments.multiflow import run_multiflow
+    from repro.experiments.scenarios import aqm_vs_droptail
+
+    config = aqm_vs_droptail(
+        queue_kind="red", ecn=True, duration=1.0, sampling_interval=0.1
+    )
+    result = run_multiflow(config)
+    return result.events_processed
+
+
 def dynamics_link_flap_second() -> int:
     """One simulated second of the link-flap failover dynamics scenario.
 

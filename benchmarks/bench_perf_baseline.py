@@ -27,6 +27,7 @@ from repro.measure.baseline import baseline_basename, running_environment
 from bench_campaign import campaign_points_second, campaign_recovery_points_second
 from bench_flowsim import flowsim_10k_wall, flowsim_transitions_second
 from bench_netsim_engine import (
+    aqm_red_ecn_second,
     dynamics_link_flap_second,
     multiflow_fairness_second,
     pump_events,
@@ -46,6 +47,7 @@ BENCH_REGISTRY = {
     "engine_handle_path_events_per_sec": (pump_events_with_handles, 5),
     "tcp_pipeline_events_per_sec": (single_tcp_second, 3),
     "multiflow_fairness_events_per_sec": (multiflow_fairness_second, 3),
+    "aqm_red_ecn_events_per_sec": (aqm_red_ecn_second, 3),
     "dynamics_link_flap_events_per_sec": (dynamics_link_flap_second, 3),
     "campaign_points_per_sec": (campaign_points_second, 3),
     "campaign_recovery_points_per_sec": (campaign_recovery_points_second, 3),
@@ -115,6 +117,9 @@ def test_write_perf_baseline():
     assert timings["engine_fast_path_events_per_sec"] > 100_000
     assert timings["tcp_pipeline_events_per_sec"] > 30_000
     assert timings["multiflow_fairness_events_per_sec"] > 20_000
+    # ISSUE-10: the AQM verdict path runs per arriving packet and must stay
+    # within an order of magnitude of the drop-tail fairness figure.
+    assert timings["aqm_red_ecn_events_per_sec"] > 10_000
     assert timings["dynamics_link_flap_events_per_sec"] > 20_000
     assert timings["campaign_points_per_sec"] > 0.2
     # ISSUE-8: retries, lease traffic and store re-reads must stay cheap

@@ -441,7 +441,7 @@ def _command_fairness(args: argparse.Namespace) -> int:
         return args.exit_code
     builder = COMPETITION_SCENARIOS[scenario]
     kwargs = {"duration": args.duration, "bottleneck_mbps": args.bottleneck_mbps}
-    if args.scenario == "two_mptcp_competition":
+    if args.scenario in ("two_mptcp_competition", "ecn_mptcp_fairness"):
         kwargs["congestion_control_a"] = args.cc
         kwargs["congestion_control_b"] = args.cc
     else:

@@ -89,6 +89,7 @@ class MptcpConnection:
         path_manager: Optional[PathManager] = None,
         default_path_index: int = 0,
         mss: int = DEFAULT_MSS,
+        ecn: bool = False,
         total_bytes: Optional[int] = None,
         send_buffer_bytes: Optional[int] = None,
         join_delay: float = 0.0,
@@ -100,6 +101,7 @@ class MptcpConnection:
         self.src = src
         self.dst = dst
         self.mss = int(mss)
+        self.ecn = bool(ecn)
         self.flow_id = flow_id if flow_id is not None else next(_flow_ids)
         self.congestion_control_name = congestion_control.lower()
         self.join_delay = float(join_delay)
@@ -174,6 +176,7 @@ class MptcpConnection:
             data_provider=self,
             tag=subflow.tag,
             mss=self.mss,
+            ecn=self.ecn,
         )
         receiver = TcpReceiver(
             dst_host,

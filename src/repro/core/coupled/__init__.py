@@ -16,6 +16,7 @@ from .balia import BaliaCongestionControl
 from .base import CoupledCongestionControl, CouplingGroup
 from .lia import LiaCongestionControl
 from .olia import OliaCongestionControl
+from .signal import MultipathSfc, MultipathTelehaptic
 from .uncoupled import UncoupledCubic, UncoupledReno
 from .wvegas import WVegasCongestionControl
 
@@ -28,6 +29,8 @@ MULTIPATH_ALGORITHMS = {
     "olia": OliaCongestionControl,
     "balia": BaliaCongestionControl,
     "wvegas": WVegasCongestionControl,
+    "sfc": MultipathSfc,
+    "telehaptic": MultipathTelehaptic,
 }
 
 #: The three algorithms evaluated in the paper's measurements.
@@ -58,6 +61,8 @@ __all__ = [
     "CouplingGroup",
     "LiaCongestionControl",
     "MULTIPATH_ALGORITHMS",
+    "MultipathSfc",
+    "MultipathTelehaptic",
     "OliaCongestionControl",
     "PAPER_ALGORITHMS",
     "UncoupledCubic",

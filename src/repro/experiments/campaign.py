@@ -118,6 +118,10 @@ class CampaignPoint:
             parts.append(str(self.params["dynamics"]))
         if self.params.get("path_manager", "default") != "default":
             parts.append(str(self.params["path_manager"]))
+        if self.params.get("queue_kind") is not None:
+            parts.append(str(self.params["queue_kind"]))
+        if self.params.get("ecn") is not None:
+            parts.append("ecn" if self.params["ecn"] else "noecn")
         if self.params.get("load_scale") is not None:
             parts.append(f"load{self.params['load_scale']:g}")
         if self.params.get("size_scale") is not None:
@@ -151,6 +155,12 @@ class CampaignSpec:
     loss_rates: Sequence[float] = (0.0,)
     dynamics: Sequence[str] = ("none",)
     path_managers: Sequence[str] = ("default",)
+    #: Signal-plane axes: queue discipline and ECN.  ``None`` leaves the
+    #: scenario's own default in place (and stays out of the point key, so
+    #: every pre-AQM campaign store remains addressable); a concrete value
+    #: forces it on every link / every sender of the point.
+    queue_kinds: Sequence[Optional[str]] = (None,)
+    ecn_modes: Sequence[Optional[bool]] = (None,)
     #: Workload-kind axes: arrival-rate and transfer-size multipliers
     #: applied via :meth:`~repro.workload.spec.WorkloadSpec.scaled`.
     load_scales: Sequence[float] = (1.0,)
@@ -183,11 +193,21 @@ class CampaignSpec:
             "loss_rates",
             "dynamics",
             "path_managers",
+            "queue_kinds",
+            "ecn_modes",
             "load_scales",
             "size_scales",
         ):
             if not list(getattr(self, axis)):
                 raise ConfigurationError(f"campaign axis {axis!r} must not be empty")
+        from ..netsim.queues import QUEUE_KINDS
+
+        for queue_kind in self.queue_kinds:
+            if queue_kind is not None and queue_kind not in QUEUE_KINDS:
+                raise ConfigurationError(
+                    f"unknown queue discipline {queue_kind!r}; "
+                    f"choose from {QUEUE_KINDS} (or None for the scenario default)"
+                )
         from ..core.coupled import MULTIPATH_ALGORITHMS
 
         for congestion_control in self.congestion_controls:
@@ -207,6 +227,8 @@ class CampaignSpec:
                 ("loss_rates", (0.0,)),
                 ("dynamics", ("none",)),
                 ("path_managers", ("default",)),
+                ("queue_kinds", (None,)),
+                ("ecn_modes", (None,)),
             ):
                 if tuple(getattr(self, axis)) != neutral:
                     raise ConfigurationError(
@@ -256,6 +278,8 @@ class CampaignSpec:
             * len(list(self.loss_rates))
             * len(list(self.dynamics))
             * len(list(self.path_managers))
+            * len(list(self.queue_kinds))
+            * len(list(self.ecn_modes))
             * len(list(self.load_scales))
             * len(list(self.size_scales))
         )
@@ -284,23 +308,27 @@ class CampaignSpec:
                         for loss_rate in self.loss_rates:
                             for dynamics_name in self.dynamics:
                                 for path_manager in self.path_managers:
-                                    for load_scale in self.load_scales:
-                                        for size_scale in self.size_scales:
-                                            points.append(
-                                                self._point(
-                                                    scenario=scenario,
-                                                    congestion_control=congestion_control,
-                                                    rate_scale=float(rate_scale),
-                                                    delay_scale=float(delay_scale),
-                                                    loss_rate=float(loss_rate),
-                                                    dynamics_name=dynamics_name,
-                                                    path_manager=path_manager,
-                                                    load_scale=float(load_scale),
-                                                    size_scale=float(size_scale),
-                                                    paths=paths,
-                                                    system=system,
-                                                )
-                                            )
+                                    for queue_kind in self.queue_kinds:
+                                        for ecn in self.ecn_modes:
+                                            for load_scale in self.load_scales:
+                                                for size_scale in self.size_scales:
+                                                    points.append(
+                                                        self._point(
+                                                            scenario=scenario,
+                                                            congestion_control=congestion_control,
+                                                            rate_scale=float(rate_scale),
+                                                            delay_scale=float(delay_scale),
+                                                            loss_rate=float(loss_rate),
+                                                            dynamics_name=dynamics_name,
+                                                            path_manager=path_manager,
+                                                            queue_kind=queue_kind,
+                                                            ecn=ecn,
+                                                            load_scale=float(load_scale),
+                                                            size_scale=float(size_scale),
+                                                            paths=paths,
+                                                            system=system,
+                                                        )
+                                                    )
         return points
 
     # ------------------------------------------------------------------
@@ -344,6 +372,8 @@ class CampaignSpec:
         loss_rate: float,
         dynamics_name: str,
         path_manager: str,
+        queue_kind: Optional[str] = None,
+        ecn: Optional[bool] = None,
         load_scale: float = 1.0,
         size_scale: float = 1.0,
         paths: PathSet,
@@ -392,6 +422,17 @@ class CampaignSpec:
             # Only non-default backends enter the content hash, so every key
             # recorded by pre-flowlevel campaigns stays addressable.
             params["backend"] = self.backend
+        # Same key-stability rule for the signal-plane axes: ``None`` (use
+        # the scenario's own discipline / ECN setting) stays out of the hash.
+        if queue_kind is not None:
+            params["queue_kind"] = queue_kind
+        if ecn is not None:
+            params["ecn"] = bool(ecn)
+        signal_overrides: Dict[str, object] = {}
+        if queue_kind is not None:
+            signal_overrides["queue_kind"] = queue_kind
+        if ecn is not None:
+            signal_overrides["ecn"] = bool(ecn)
         spec = _point_dynamics(dynamics_name, loss_rate, system, self.duration)
         if self.kind == "single":
             manager = None
@@ -413,6 +454,7 @@ class CampaignSpec:
                 path_manager=manager,
                 dynamics=spec,
                 backend=self.backend,
+                **signal_overrides,
             )
         else:
             config = _competition_config(
@@ -425,6 +467,7 @@ class CampaignSpec:
                 scenario=(topology, base_paths),
                 dynamics=spec,
                 backend=self.backend,
+                **signal_overrides,
             )
         return CampaignPoint(key=point_key(params), params=params, config=config)
 
@@ -438,7 +481,7 @@ def _competition_config(
         "duration": duration,
         "sampling_interval": sampling_interval,
     }
-    if scenario == "two_mptcp_competition":
+    if scenario in ("two_mptcp_competition", "ecn_mptcp_fairness"):
         kwargs["congestion_control_a"] = congestion_control
         kwargs["congestion_control_b"] = congestion_control
     else:
@@ -957,9 +1000,45 @@ def workload_fct_campaign(
     )
 
 
+def ecn_aqm_fairness_campaign(
+    *,
+    duration: float = 2.0,
+    congestion_controls: Sequence[str] = ("lia", "olia", "sfc", "telehaptic"),
+    queue_kinds: Sequence[str] = ("droptail", "red", "codel"),
+    ecn_modes: Sequence[bool] = (True,),
+    backend: str = "packet",
+) -> CampaignSpec:
+    """Signal-plane grid: queue discipline x controller on the ECN scenario.
+
+    Sweeps every queue discipline against the coupled and signal-driven
+    controller families on the two-MPTCP ECN fairness scenario; each point's
+    record carries the signal-plane block (marking rate, early/full drop
+    split, mean queue delay) from its run summary.  Run with
+    ``backend="flowlevel"`` to sweep the identical grid at flow-level
+    fidelity -- the keys differ only in the ``backend`` param, and each
+    flow-level point records cross-fidelity agreement against its
+    packet-level twin.
+    """
+    return CampaignSpec(
+        name="ecn_aqm_fairness",
+        kind="multiflow",
+        scenarios=("ecn_mptcp_fairness",),
+        congestion_controls=tuple(congestion_controls),
+        queue_kinds=tuple(queue_kinds),
+        ecn_modes=tuple(ecn_modes),
+        duration=duration,
+        backend=backend,
+        description=(
+            "ECN fairness scenario: queue discipline x controller "
+            "(incl. sfc/telehaptic) with signal-plane metrics per point"
+        ),
+    )
+
+
 #: Named campaign grids exposed through the CLI (``campaign`` command).
 CAMPAIGN_GRIDS: Dict[str, Callable[..., CampaignSpec]] = {
     "paper_cc_rate": paper_cc_rate_campaign,
     "multiflow_fairness": multiflow_fairness_campaign,
     "workload_fct": workload_fct_campaign,
+    "ecn_aqm_fairness": ecn_aqm_fairness_campaign,
 }

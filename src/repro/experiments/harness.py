@@ -24,6 +24,7 @@ from ..measure.convergence import ConvergenceReport, analyze_convergence
 from ..measure.dynamics import DynamicsReport, analyze_dynamics
 from ..measure.flowstats import ConnectionStats, connection_stats
 from ..measure.sampling import TimeSeries, per_tag_timeseries, total_timeseries
+from ..measure.signalplane import SignalPlaneReport, signal_plane_report
 from ..model.bottleneck import ConstraintSystem, build_constraints
 from ..model.lp import LpResult, max_total_throughput
 from ..model.paths import PathSet
@@ -73,14 +74,27 @@ class ExperimentConfig:
     #: Rate-sharing rule for the flow-level backend
     #: (:data:`repro.flowsim.allocator.ALLOCATORS`); ignored at packet level.
     flow_allocator: str = "maxmin"
+    #: Queue discipline forced onto every link of the scenario topology
+    #: (:data:`repro.netsim.queues.QUEUE_KINDS`); ``None`` keeps whatever
+    #: the scenario builder declared (drop-tail everywhere by default).
+    queue_kind: Optional[str] = None
+    #: ECN-capable transport: senders mark segments ECT, AQM queues CE-mark
+    #: instead of dropping, and the ECE echo drives ``cc.on_ecn``.
+    ecn: bool = False
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         from ..flowsim.backend import BACKENDS
+        from ..netsim.queues import QUEUE_KINDS
 
         if self.backend not in BACKENDS:
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
+        if self.queue_kind is not None and self.queue_kind not in QUEUE_KINDS:
+            raise ConfigurationError(
+                f"unknown queue discipline {self.queue_kind!r}; "
+                f"choose from {QUEUE_KINDS}"
             )
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
@@ -111,6 +125,9 @@ class ExperimentResult:
     #: Present when the run's dynamics spec declares measurement epochs
     #: (scheduled events or explicit ones) or a capacity profile.
     dynamics: Optional[DynamicsReport] = None
+    #: Congestion-signal counters of the run (ECN marks, early/full drops,
+    #: queueing delay); None only for results predating the signal plane.
+    signal_plane: Optional[SignalPlaneReport] = None
 
     # ------------------------------------------------------------------
     @property
@@ -145,6 +162,12 @@ class ExperimentResult:
             "drops": self.drops,
             "retransmissions": self.stats.retransmissions,
         }
+        if self.config.queue_kind is not None:
+            summary["queue_kind"] = self.config.queue_kind
+        if self.config.ecn:
+            summary["ecn"] = True
+        if self.signal_plane is not None:
+            summary["signal_plane"] = self.signal_plane.as_dict()
         if self.dynamics is not None:
             summary["dynamics"] = self.dynamics.as_dict()
         return summary
@@ -162,6 +185,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
 
         return run_experiment_flowlevel(config)
     topology, paths = config.build_scenario()
+    if config.queue_kind is not None:
+        topology.set_queue_kind(config.queue_kind)
     network = Network(topology)
     capture = network.attach_capture(paths.dst, data_only=True)
 
@@ -175,6 +200,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         path_manager=config.path_manager,
         default_path_index=config.default_path_index,
         mss=config.mss,
+        ecn=config.ecn,
         total_bytes=config.total_bytes,
         send_buffer_bytes=config.send_buffer_bytes,
         join_delay=config.join_delay,
@@ -216,6 +242,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         drops=network.total_drops(),
         events_processed=network.sim.events_processed,
         dynamics=dynamics_report,
+        signal_plane=signal_plane_report(network, config.duration),
     )
 
 

@@ -27,6 +27,7 @@ from ..measure.fairness import FairnessReport, analyze_fairness
 from ..measure.fct import FctReport
 from ..measure.flowstats import ConnectionStats, connection_stats
 from ..measure.sampling import TimeSeries, per_tag_timeseries, throughput_timeseries
+from ..measure.signalplane import SignalPlaneReport, signal_plane_report
 from ..model.bottleneck import build_constraints
 from ..model.lp import max_total_throughput
 from ..model.paths import Path, PathSet
@@ -137,13 +138,24 @@ class MultiFlowConfig:
     backend: str = "packet"
     #: Rate-sharing rule for the flow-level backend; ignored at packet level.
     flow_allocator: str = "maxmin"
+    #: Queue discipline forced onto every link (``None`` keeps the scenario's
+    #: declared disciplines, drop-tail by default).
+    queue_kind: Optional[str] = None
+    #: ECN-capable transport for every TCP-based flow of the run.
+    ecn: bool = False
 
     def __post_init__(self) -> None:
         from ..flowsim.backend import BACKENDS
+        from ..netsim.queues import QUEUE_KINDS
 
         if self.backend not in BACKENDS:
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
+        if self.queue_kind is not None and self.queue_kind not in QUEUE_KINDS:
+            raise ConfigurationError(
+                f"unknown queue discipline {self.queue_kind!r}; "
+                f"choose from {QUEUE_KINDS}"
             )
 
     def with_overrides(self, **kwargs) -> "MultiFlowConfig":
@@ -199,6 +211,9 @@ class MultiFlowResult:
     fairness: FairnessReport
     drops: int
     events_processed: int
+    #: Congestion-signal counters of the run (ECN marks, early/full drops,
+    #: queueing delay); None only for results predating the signal plane.
+    signal_plane: Optional[SignalPlaneReport] = None
 
     def flow(self, name: str) -> FlowResult:
         for flow in self.flows:
@@ -211,7 +226,7 @@ class MultiFlowResult:
         return self.fairness.jain_index
 
     def summary(self) -> dict:
-        return {
+        summary = {
             "name": self.config.name,
             "duration_s": self.config.duration,
             "flows": [flow.summary() for flow in self.flows],
@@ -219,6 +234,13 @@ class MultiFlowResult:
             "drops": self.drops,
             "events_processed": self.events_processed,
         }
+        if self.config.queue_kind is not None:
+            summary["queue_kind"] = self.config.queue_kind
+        if self.config.ecn:
+            summary["ecn"] = True
+        if self.signal_plane is not None:
+            summary["signal_plane"] = self.signal_plane.as_dict()
+        return summary
 
 
 # ---------------------------------------------------------------------- build
@@ -289,6 +311,8 @@ def run_multiflow(config: MultiFlowConfig) -> MultiFlowResult:
     if not config.flows:
         raise ConfigurationError("a multi-flow run needs at least one flow")
     topology, base_paths = config.build_scenario()
+    if config.queue_kind is not None:
+        topology.set_queue_kind(config.queue_kind)
     network = Network(topology)
 
     built: List[_BuiltFlow] = []
@@ -345,6 +369,7 @@ def run_multiflow(config: MultiFlowConfig) -> MultiFlowResult:
         fairness=fairness,
         drops=network.total_drops(),
         events_processed=network.sim.events_processed,
+        signal_plane=signal_plane_report(network, config.duration),
     )
 
 
@@ -375,6 +400,7 @@ def _instantiate_flow(
             scheduler=spec.scheduler,
             default_path_index=spec.default_path_index,
             mss=spec.mss,
+            ecn=config.ecn,
             total_bytes=spec.total_bytes,
             send_buffer_bytes=spec.send_buffer_bytes,
             join_delay=spec.join_delay,
@@ -427,6 +453,7 @@ def _instantiate_flow(
             cc=spec.congestion_control or "cubic",
             tag=tag,
             mss=spec.mss,
+            ecn=config.ecn,
             total_bytes=spec.total_bytes,
             flow_id=flow.flow_id,
         )

@@ -39,6 +39,7 @@ from ..measure.fairness import analyze_fairness
 from ..measure.fct import FctReport
 from ..measure.flowstats import ConnectionStats, SubflowStats
 from ..measure.sampling import TimeSeries
+from ..measure.signalplane import modeled_signal_plane
 from ..model.bottleneck import build_constraints
 from ..model.lp import max_total_throughput
 from ..model.paths import PathSet
@@ -58,6 +59,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 
 #: Backends an experiment configuration can select.
 BACKENDS = ("packet", "flowlevel")
+
+#: Effective-capacity factor of an AQM discipline at flow level: keeping the
+#: standing queue short costs a sliver of throughput relative to a brimming
+#: drop-tail buffer (CoDel's 5 ms target trims less than RED's mid-threshold
+#: operating point).  Deterministic, so campaign sweeps see the same
+#: discipline ordering at both fidelities.
+AQM_CAPACITY_FACTOR = {"red": 0.97, "codel": 0.99}
+
+
+def _apply_queue_kind(sim: FlowLevelSim, topology, queue_kind: Optional[str]) -> None:
+    """Map an AQM ``queue_kind`` override onto rate-capped link classes."""
+    if queue_kind is None:
+        return
+    factor = AQM_CAPACITY_FACTOR.get(queue_kind)
+    if factor is None:
+        return
+    for spec in topology.links:
+        sim.scale_link(spec.src, spec.dst, factor)
 
 
 def coupled_algorithm(congestion_control: str) -> bool:
@@ -142,6 +161,7 @@ def run_experiment_flowlevel(config: "ExperimentConfig") -> "ExperimentResult":
     sim = FlowLevelSim(
         topology, allocator=config.flow_allocator, record_timeseries=True
     )
+    _apply_queue_kind(sim, topology, config.queue_kind)
     coupled = coupled_algorithm(config.congestion_control)
     tags = tuple(
         path.tag if path.tag is not None else index + 1
@@ -191,6 +211,13 @@ def run_experiment_flowlevel(config: "ExperimentConfig") -> "ExperimentResult":
         drops=0,
         events_processed=run.transitions,
         dynamics=dynamics_report,
+        signal_plane=modeled_signal_plane(
+            duration=config.duration,
+            queue_kind=config.queue_kind or "droptail",
+            ecn=config.ecn,
+            utilization=convergence.utilization_of_optimum,
+            flows=len(paths),
+        ),
     )
 
 
@@ -271,6 +298,7 @@ def run_multiflow_flowlevel(config: "MultiFlowConfig") -> "MultiFlowResult":
     sim = FlowLevelSim(
         topology, allocator=config.flow_allocator, record_timeseries=True
     )
+    _apply_queue_kind(sim, topology, config.queue_kind)
 
     plans: List[_FlowPlan] = []
     for index, spec in enumerate(config.flows):
@@ -348,12 +376,29 @@ def run_multiflow_flowlevel(config: "MultiFlowConfig") -> "MultiFlowResult":
         )
         for plan, series, per_path, delivered in measured
     ]
+    responsive_flows = sum(
+        1 for plan in plans if plan.spec.kind in ("mptcp", "tcp", "workload")
+    )
+    if bottleneck_capacity:
+        total_mbps = sum(fairness.per_flow_mbps.values())
+        bottleneck_utilization = total_mbps / bottleneck_capacity
+    else:
+        # No declared bottleneck: greedy responsive flows saturate whatever
+        # the binding constraint is, so treat the run as congested.
+        bottleneck_utilization = 1.0 if responsive_flows else 0.0
     return MultiFlowResult(
         config=config,
         flows=results,
         fairness=fairness,
         drops=0,
         events_processed=run.transitions,
+        signal_plane=modeled_signal_plane(
+            duration=config.duration,
+            queue_kind=config.queue_kind or "droptail",
+            ecn=config.ecn,
+            utilization=bottleneck_utilization,
+            flows=responsive_flows,
+        ),
     )
 
 

@@ -281,8 +281,10 @@ class Link:
                 sim.schedule_fast_at(self._busy_until, self._serve_queue)
                 return
         queue = self.queue
-        packet = queue.dequeue()
-        if packet is None:  # pragma: no cover - defensive; queue drained elsewhere
+        packet = queue.dequeue(sim.now)
+        if packet is None:
+            # Queue drained elsewhere, or an AQM discipline (CoDel) shed
+            # every queued packet at departure time.
             self._serving = False
             return
         size = packet.size
@@ -512,10 +514,11 @@ class Link:
         if flush == "drop":
             queue = self.queue
             stats = self.stats
-            packet = queue.dequeue()
+            now = self.sim.now
+            packet = queue.dequeue(now)
             while packet is not None:
                 stats.packets_dropped += 1
-                packet = queue.dequeue()
+                packet = queue.dequeue(now)
 
     def set_up(self) -> None:
         """Restore a failed link; parked packets resume transmission."""

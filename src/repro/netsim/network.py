@@ -283,5 +283,31 @@ class Network:
         """Per-link drop counts, keyed by (src, dst)."""
         return {edge: link.drops for edge, link in self.links.items() if link.drops}
 
+    def signal_plane_totals(self) -> Dict[str, float]:
+        """Aggregate congestion-signal counters over every queue.
+
+        Sums the AQM/ECN counters (CE marks, early vs full-buffer drops,
+        sojourn-time accumulation) across all links; the measurement layer
+        turns these into rates (see :mod:`repro.measure.signalplane`).
+        Drop-tail networks report all-zero marks/early drops by construction.
+        """
+        totals = {
+            "ecn_marks": 0,
+            "early_drops": 0,
+            "full_drops": 0,
+            "dropped": 0,
+            "dequeued": 0,
+            "queue_delay_sum": 0.0,
+        }
+        for link in self.links.values():
+            stats = link.queue.stats
+            totals["ecn_marks"] += stats.ecn_marks
+            totals["early_drops"] += stats.early_drops
+            totals["full_drops"] += stats.full_drops
+            totals["dropped"] += stats.dropped
+            totals["dequeued"] += stats.dequeued
+            totals["queue_delay_sum"] += stats.queue_delay_sum
+        return totals
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Network({self.topology.name!r}, nodes={len(self.nodes)}, links={len(self.links)})"

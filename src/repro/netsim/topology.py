@@ -151,6 +151,41 @@ class Topology:
                 b, a, rspec.capacity_mbps, delay, rspec.queue_packets, rspec.queue_kind
             )
 
+    def set_queue_kind(
+        self,
+        kind: str,
+        a: Optional[str] = None,
+        b: Optional[str] = None,
+        *,
+        bidirectional: bool = True,
+    ) -> None:
+        """Change the queue discipline of one link, or of every link.
+
+        With ``a``/``b`` given only that link is rewritten (both directions
+        unless ``bidirectional=False``); without them the whole topology is
+        switched to ``kind`` -- the operation behind the ``queue_kind``
+        experiment and campaign axes.
+        """
+        from .queues import QUEUE_KINDS
+
+        kind = kind.lower()
+        if kind not in QUEUE_KINDS:
+            raise TopologyError(
+                f"unknown queue discipline {kind!r}; choose from {QUEUE_KINDS}"
+            )
+        if a is None and b is None:
+            edges = list(self._links)
+        elif a is not None and b is not None:
+            self.link(a, b)  # raises on unknown link
+            edges = [(a, b), (b, a)] if bidirectional else [(a, b)]
+        else:
+            raise TopologyError("set_queue_kind needs both endpoints or neither")
+        for edge in edges:
+            spec = self._links[edge]
+            self._links[edge] = LinkSpec(
+                spec.src, spec.dst, spec.capacity_mbps, spec.delay, spec.queue_packets, kind
+            )
+
     def scale_links(self, *, rate: float = 1.0, delay: float = 1.0) -> None:
         """Multiply every link's capacity and/or propagation delay in place.
 

@@ -11,11 +11,15 @@ from ...errors import ConfigurationError
 from .base import CongestionControl, INITIAL_CWND_SEGMENTS, MIN_CWND_SEGMENTS
 from .cubic import CubicCongestionControl
 from .reno import RenoCongestionControl
+from .sfc import SfcCongestionControl
+from .telehaptic import TelehapticCongestionControl
 
 _SINGLE_PATH_ALGORITHMS = {
     "reno": RenoCongestionControl,
     "newreno": RenoCongestionControl,
     "cubic": CubicCongestionControl,
+    "sfc": SfcCongestionControl,
+    "telehaptic": TelehapticCongestionControl,
 }
 
 
@@ -37,5 +41,7 @@ __all__ = [
     "INITIAL_CWND_SEGMENTS",
     "MIN_CWND_SEGMENTS",
     "RenoCongestionControl",
+    "SfcCongestionControl",
+    "TelehapticCongestionControl",
     "make_congestion_control",
 ]

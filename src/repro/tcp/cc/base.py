@@ -38,7 +38,16 @@ class CongestionControl(ABC):
 
     name = "base"
 
-    __slots__ = ("mss", "cwnd", "ssthresh", "srtt", "losses", "timeouts", "acked_bytes_total")
+    __slots__ = (
+        "mss",
+        "cwnd",
+        "ssthresh",
+        "srtt",
+        "losses",
+        "timeouts",
+        "ecn_signals",
+        "acked_bytes_total",
+    )
 
     def __init__(
         self,
@@ -52,6 +61,7 @@ class CongestionControl(ABC):
         self.srtt: float = 0.01
         self.losses = 0
         self.timeouts = 0
+        self.ecn_signals = 0
         self.acked_bytes_total = 0
 
     # ------------------------------------------------------------------ views
@@ -92,6 +102,20 @@ class CongestionControl(ABC):
     def on_loss(self, now: float) -> None:
         """A loss was detected via duplicate ACKs (fast retransmit)."""
         self.losses += 1
+        self._loss_decrease(now)
+        self.cwnd = max(self.cwnd, MIN_CWND_SEGMENTS)
+        self.ssthresh = max(self.cwnd, MIN_CWND_SEGMENTS)
+
+    def on_ecn(self, now: float) -> None:
+        """The peer echoed an ECN Congestion Experienced mark (ECE).
+
+        Distinct from :meth:`on_loss`: nothing was lost and nothing is
+        retransmitted -- the window backs off exactly as the algorithm's
+        multiplicative decrease prescribes (RFC 3168 semantics), and the
+        event is counted separately in ``ecn_signals``.  Algorithms with a
+        gentler mark reaction (DCTCP-style ones, SFC) override this.
+        """
+        self.ecn_signals += 1
         self._loss_decrease(now)
         self.cwnd = max(self.cwnd, MIN_CWND_SEGMENTS)
         self.ssthresh = max(self.cwnd, MIN_CWND_SEGMENTS)

@@ -1,0 +1,67 @@
+"""SFC-style near-source congestion signaling (pushback pacing).
+
+Models the controller family of arXiv:2305.00538 (Source Flow Control):
+congestion feedback comes from the *first hop* rather than from end-to-end
+loss, and the source reacts by pacing down -- a "pushback" level that rises
+with every signal and decays as un-signalled ACKs stream in.  In this
+simulator the near-source signal is the ECN mark of the first congested
+queue on the path, echoed back as ECE (see :mod:`repro.netsim.queues`), so
+the reaction latency is one RTT like every other end-to-end controller, but
+the *strength* of the reaction follows the SFC pushback model:
+
+* each signal applies a gentle multiplicative decrease (``BETA = 0.8``,
+  well above Reno's 0.5 -- marks are cheaper than drops) and raises the
+  pushback level;
+* while pushback is high the additive increase is suppressed, pacing the
+  source near the signalled rate instead of immediately probing back up;
+* the pushback decays over roughly ``1 / DECAY`` RTTs without signals.
+
+Loss still halves the window: a drop means the early signal failed.
+"""
+
+from __future__ import annotations
+
+from .base import CongestionControl, MIN_CWND_SEGMENTS
+
+
+class SfcCongestionControl(CongestionControl):
+    """First-hop-signal controller with pushback pacing."""
+
+    name = "sfc"
+
+    #: Multiplicative decrease applied per congestion signal (mark).
+    BETA = 0.8
+    #: Pushback added per signal (saturates at 1.0 == increase fully paused).
+    PUSHBACK_GAIN = 0.35
+    #: Fraction of the pushback released per window's worth of clean ACKs.
+    DECAY = 0.5
+
+    __slots__ = ("pushback",)
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: Current pushback level in [0, 1]; 0 = no recent signals.
+        self.pushback = 0.0
+
+    # ------------------------------------------------------------------
+    def _congestion_avoidance(self, acked_segments: float, srtt: float, now: float) -> None:
+        pushback = self.pushback
+        if pushback > 0.0:
+            pushback *= 1.0 - self.DECAY * acked_segments / max(self.cwnd, 1.0)
+            self.pushback = 0.0 if pushback < 1e-3 else pushback
+        self.cwnd += (1.0 - pushback) * acked_segments / self.cwnd
+
+    def on_ecn(self, now: float) -> None:
+        self.ecn_signals += 1
+        self.pushback = min(1.0, self.pushback + self.PUSHBACK_GAIN)
+        self.cwnd = max(self.cwnd * self.BETA, MIN_CWND_SEGMENTS)
+        self.ssthresh = max(self.cwnd, MIN_CWND_SEGMENTS)
+
+    def _loss_decrease(self, now: float) -> None:
+        # An actual drop means the near-source signal failed to contain the
+        # queue; fall back to the classic halving and reset the pacing state.
+        self.pushback = 1.0
+        self.cwnd = self.cwnd / 2.0
+
+    def _after_timeout(self, now: float) -> None:
+        self.pushback = 1.0

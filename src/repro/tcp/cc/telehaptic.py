@@ -1,0 +1,78 @@
+"""Telehaptic-style RTT-gradient rate adaptation.
+
+Models the controller family of arXiv:1610.00609 (dynamic rate adaptation
+for telehaptic streams over shared networks): latency-critical traffic
+cannot wait for loss, so the rate tracks the *gradient* of the round-trip
+time -- a rising RTT means a queue is building somewhere on the path and the
+rate backs off proportionally before anything is dropped; a flat or falling
+RTT near the propagation floor lets the rate probe upward.
+
+Mapped onto the window-based interface of this simulator:
+
+* the minimum observed RTT is the propagation baseline (``base_rtt``);
+* each congestion-avoidance ACK evaluates the relative RTT gradient; above
+  ``GRADIENT_TOLERANCE`` the window shrinks by ``SENSITIVITY`` times the
+  gradient (capped), otherwise it grows additively, scaled down as the
+  absolute queueing delay approaches ``DELAY_BUDGET``;
+* an ECN mark is treated as a hard delay spike (multiplicative decrease),
+  loss falls back to the classic halving.
+"""
+
+from __future__ import annotations
+
+from .base import CongestionControl, MIN_CWND_SEGMENTS
+
+
+class TelehapticCongestionControl(CongestionControl):
+    """Delay-gradient controller for latency-critical flows."""
+
+    name = "telehaptic"
+
+    #: Relative RTT growth per ACK below which the path counts as stable.
+    GRADIENT_TOLERANCE = 0.02
+    #: Window shrink factor applied per unit of (capped) RTT gradient.
+    SENSITIVITY = 2.0
+    #: Largest per-event gradient reaction (gradient capped at this value).
+    MAX_GRADIENT = 0.25
+    #: Queueing delay (seconds above base RTT) at which growth stops.
+    DELAY_BUDGET = 0.030
+    #: Multiplicative decrease on an ECN mark (a hard delay signal).
+    ECN_BETA = 0.8
+
+    __slots__ = ("base_rtt", "_prev_srtt")
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.base_rtt = float("inf")
+        self._prev_srtt = 0.0
+
+    # ------------------------------------------------------------------
+    def _congestion_avoidance(self, acked_segments: float, srtt: float, now: float) -> None:
+        if srtt < self.base_rtt:
+            self.base_rtt = srtt
+        prev = self._prev_srtt
+        self._prev_srtt = srtt
+        if prev <= 0.0:
+            return
+        gradient = (srtt - prev) / prev
+        if gradient > self.GRADIENT_TOLERANCE:
+            if gradient > self.MAX_GRADIENT:
+                gradient = self.MAX_GRADIENT
+            self.cwnd = max(
+                self.cwnd * (1.0 - self.SENSITIVITY * gradient), MIN_CWND_SEGMENTS
+            )
+            return
+        queueing = srtt - self.base_rtt
+        headroom = 1.0 - queueing / self.DELAY_BUDGET
+        if headroom > 0.0:
+            self.cwnd += headroom * acked_segments / self.cwnd
+
+    def on_ecn(self, now: float) -> None:
+        self.ecn_signals += 1
+        self.cwnd = max(self.cwnd * self.ECN_BETA, MIN_CWND_SEGMENTS)
+        self.ssthresh = max(self.cwnd, MIN_CWND_SEGMENTS)
+
+    def _after_timeout(self, now: float) -> None:
+        # A timeout invalidates the gradient history (the path may have
+        # changed entirely); re-learn the baseline.
+        self._prev_srtt = 0.0

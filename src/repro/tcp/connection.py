@@ -122,6 +122,7 @@ class TcpConnection:
         cc: str = "cubic",
         tag: Optional[int] = None,
         mss: int = DEFAULT_MSS,
+        ecn: bool = False,
         total_bytes: Optional[int] = None,
         flow_id: Optional[int] = None,
         subflow_id: int = 0,
@@ -157,6 +158,7 @@ class TcpConnection:
             data_provider=self.data,
             tag=tag,
             mss=mss,
+            ecn=ecn,
         )
         self.receiver = TcpReceiver(dst_host, src, self.flow_id, subflow_id=subflow_id, tag=tag)
         src_host.register_agent(self.flow_id, subflow_id, self.sender)

@@ -31,7 +31,14 @@ class ConnectionSink(Protocol):
 class ReceiverStats:
     """Counters exported by a receiver."""
 
-    __slots__ = ("segments_received", "bytes_received", "duplicates", "out_of_order", "acks_sent")
+    __slots__ = (
+        "segments_received",
+        "bytes_received",
+        "duplicates",
+        "out_of_order",
+        "acks_sent",
+        "ce_received",
+    )
 
     def __init__(self) -> None:
         self.segments_received = 0
@@ -39,6 +46,7 @@ class ReceiverStats:
         self.duplicates = 0
         self.out_of_order = 0
         self.acks_sent = 0
+        self.ce_received = 0
 
 
 class TcpReceiver:
@@ -130,6 +138,9 @@ class TcpReceiver:
                 self._deliver(rcv_nxt, length - overlap, dsn + overlap, now)
                 self._drain_buffer(now)
         ts_echo = packet.created_at
+        # RFC 3168 echo: a CE-marked segment (codepoint 2, set by an
+        # ECN-capable queue in place of a drop) raises ECE on the ACK.
+        ece = packet.ecn == 2
         # The data segment's life ends here; recycle it (Packet.release
         # inlined -- no-op for packets that did not come from the pool).
         # Recycling happens before the ACK is built so the freshly-freed
@@ -155,6 +166,9 @@ class TcpReceiver:
             ts_echo,
             now,
         )
+        if ece:
+            ack.ecn = True
+            self.stats.ce_received += 1
         self.stats.acks_sent += 1
         self._send_packet(ack)
 

@@ -103,6 +103,7 @@ class SenderStats:
         "fast_retransmits",
         "timeouts",
         "dupacks",
+        "ecn_echoes",
     )
 
     def __init__(self) -> None:
@@ -113,6 +114,7 @@ class SenderStats:
         self.fast_retransmits = 0
         self.timeouts = 0
         self.dupacks = 0
+        self.ecn_echoes = 0
 
 
 class TcpSender:
@@ -153,6 +155,7 @@ class TcpSender:
         "data_provider",
         "tag",
         "mss",
+        "ecn",
         "rtt",
         "stats",
         "snd_una",
@@ -164,6 +167,7 @@ class TcpSender:
         "_dupacks",
         "_in_fast_recovery",
         "_recover",
+        "_ecn_recover",
         "_rto_event",
         "_rto_deadline",
         "_rto_fire_at",
@@ -185,6 +189,7 @@ class TcpSender:
         *,
         tag: Optional[int] = None,
         mss: int = DEFAULT_MSS,
+        ecn: bool = False,
         rtt_estimator: Optional[RttEstimator] = None,
     ) -> None:
         self.host = host
@@ -205,6 +210,9 @@ class TcpSender:
         self.data_provider = data_provider
         self.tag = tag
         self.mss = int(mss)
+        #: ECN-capable transport: outgoing data segments carry ECT and the
+        #: sender reacts to echoed CE marks (see handle_packet).
+        self.ecn = bool(ecn)
         self.rtt = rtt_estimator if rtt_estimator is not None else RttEstimator()
         self.stats = SenderStats()
 
@@ -221,6 +229,9 @@ class TcpSender:
         self._dupacks = 0
         self._in_fast_recovery = False
         self._recover = 0
+        # ECE reaction guard (mirrors _recover): react to at most one echoed
+        # CE mark per window of data, per RFC 3168's once-per-RTT rule.
+        self._ecn_recover = -1
         self._rto_event: Optional["Event"] = None
         self._rto_deadline = 0.0
         self._rto_fire_at = 0.0
@@ -367,6 +378,8 @@ class TcpSender:
                 False,
                 now,
             )
+            if self.ecn:
+                packet.ecn = 1  # ECT: this segment may be CE-marked instead of dropped
             info = _acquire_segment(seq, length, dsn, now)
             self._segments[seq] = info
             self._seg_queue.append(info)
@@ -413,6 +426,8 @@ class TcpSender:
             is_retransmission,
             now,
         )
+        if self.ecn:
+            packet.ecn = 1
         segments = self._segments
         info = segments.get(seq)
         if info is None:
@@ -470,6 +485,13 @@ class TcpSender:
                 self.rtt.update(sample)
         if packet.sack_blocks:
             self._apply_sack(packet.sack_blocks)
+        if packet.ecn and ack > self._ecn_recover:
+            # RFC 3168: the receiver echoes CE as ECE on every ACK until the
+            # sender responds; react once per window of data (no retransmit,
+            # the segment was delivered -- only the rate comes down).
+            self._ecn_recover = self.snd_nxt
+            self.stats.ecn_echoes += 1
+            self.cc.on_ecn(now)
         snd_una = self.snd_una
         if ack > snd_una:
             self._on_new_ack(ack, now)

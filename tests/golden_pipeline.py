@@ -26,6 +26,7 @@ from repro.core.connection import MptcpConnection
 from repro.experiments.harness import paper_experiment, run_experiment
 from repro.experiments.multiflow import FlowSpec, MultiFlowConfig, run_multiflow
 from repro.experiments.scenarios import (
+    aqm_vs_droptail,
     cross_traffic_perturbation,
     mptcp_vs_tcp_shared_bottleneck,
     two_mptcp_competition,
@@ -194,6 +195,19 @@ def compute_golden() -> Dict[str, dict]:
             )
         ),
         "multi/udp_cbr_mix": multi_flow_case(udp_cbr_mix_config()),
+        # AQM/ECN signal plane: a RED+ECN single flow and a CoDel competition,
+        # pinned when the pluggable-discipline refactor landed.  Both decline
+        # the native kernel bypass, so these keys prove the Python handlers
+        # under the compiled event loop match the pure-Python loop exactly.
+        "single/lia-red-ecn": single_flow_case("lia", queue_kind="red", ecn=True),
+        "multi/aqm_codel_ecn": multi_flow_case(
+            aqm_vs_droptail(
+                queue_kind="codel",
+                ecn=True,
+                duration=MULTI_FLOW_DURATION,
+                sampling_interval=SAMPLING_INTERVAL,
+            )
+        ),
     }
 
 

@@ -12,6 +12,7 @@ from repro.experiments.campaign import (
     CampaignSpec,
     ResultStore,
     _execute_point,
+    ecn_aqm_fairness_campaign,
     multiflow_fairness_campaign,
     paper_cc_rate_campaign,
     point_key,
@@ -77,6 +78,45 @@ class TestCampaignSpec:
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown single campaign scenario"):
             small_spec(scenarios=("nonsense",))
+
+    def test_unknown_queue_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown queue discipline"):
+            small_spec(queue_kinds=("pie",))
+
+    def test_default_signal_axes_leave_keys_unchanged(self):
+        # queue_kind/ecn only enter the content hash when non-None, so every
+        # point key recorded by a pre-AQM campaign store stays addressable.
+        base = [p.key for p in small_spec().expand()]
+        explicit = [
+            p.key
+            for p in small_spec(queue_kinds=(None,), ecn_modes=(None,)).expand()
+        ]
+        assert base == explicit
+        for point in small_spec().expand():
+            assert "queue_kind" not in point.params
+            assert "ecn" not in point.params
+
+    def test_signal_axes_enter_key_and_config(self):
+        spec = small_spec(queue_kinds=("red", "codel"), ecn_modes=(True, False))
+        points = spec.expand()
+        assert len(points) == spec.size == 4
+        assert len({p.key for p in points}) == 4
+        for point in points:
+            assert point.config.queue_kind == point.params["queue_kind"]
+            assert point.config.ecn == point.params["ecn"]
+
+    def test_signal_axes_override_scenario_defaults(self):
+        # The ecn_mptcp_fairness scenario defaults to RED+ECN; a literal axis
+        # value must win so the sweep actually covers the other disciplines.
+        spec = small_spec(
+            kind="multiflow",
+            scenarios=("ecn_mptcp_fairness",),
+            queue_kinds=("droptail",),
+            ecn_modes=(False,),
+        )
+        point = spec.expand()[0]
+        assert point.config.queue_kind == "droptail"
+        assert point.config.ecn is False
 
     def test_empty_axis_rejected(self):
         with pytest.raises(ConfigurationError, match="must not be empty"):
@@ -213,6 +253,7 @@ class TestNamedGrids:
             "paper_cc_rate",
             "multiflow_fairness",
             "workload_fct",
+            "ecn_aqm_fairness",
         }
 
     def test_paper_grid_shape(self):
@@ -225,6 +266,18 @@ class TestNamedGrids:
         spec = multiflow_fairness_campaign()
         assert spec.kind == "multiflow"
         assert spec.size == 8
+
+    def test_ecn_aqm_grid_shape(self):
+        spec = ecn_aqm_fairness_campaign()
+        assert spec.kind == "multiflow"
+        assert spec.scenarios == ("ecn_mptcp_fairness",)
+        # queue discipline x controller, signal-driven families included
+        assert set(spec.queue_kinds) == {"droptail", "red", "codel"}
+        assert {"sfc", "telehaptic"} <= set(spec.congestion_controls)
+        assert spec.size == 12
+        flowlevel = ecn_aqm_fairness_campaign(backend="flowlevel")
+        packet_keys = {p.key for p in spec.expand()}
+        assert packet_keys.isdisjoint({p.key for p in flowlevel.expand()})
 
 
 class TestCampaignCli:

@@ -632,3 +632,67 @@ class TestGoldenPipelineEquivalence:
             )
         )
         assert fresh == golden["multi/mptcp_vs_tcp_olia"]
+
+    def test_red_ecn_single_flow_byte_identical(self, golden):
+        # AQM scenes decline the native bypass (the kernel's eligibility
+        # check requires drop-tail queues), so the compiled leg of this test
+        # pins the Python handlers under the compiled event loop against the
+        # same golden bytes as the pure-Python loop.
+        fresh = golden_pipeline.single_flow_case("lia", queue_kind="red", ecn=True)
+        assert fresh == golden["single/lia-red-ecn"]
+
+    def test_codel_multi_flow_byte_identical(self, golden):
+        from repro.experiments.scenarios import aqm_vs_droptail
+
+        fresh = golden_pipeline.multi_flow_case(
+            aqm_vs_droptail(
+                queue_kind="codel",
+                ecn=True,
+                duration=golden_pipeline.MULTI_FLOW_DURATION,
+                sampling_interval=golden_pipeline.SAMPLING_INTERVAL,
+            )
+        )
+        assert fresh == golden["multi/aqm_codel_ecn"]
+
+
+class TestAqmDeclinesNativeBypass:
+    """The whole-window native pipeline must refuse non-drop-tail scenes.
+
+    The eligibility plan requires ``type(link.queue) is DropTailQueue``; a
+    RED or CoDel link makes ``run_network`` return None (untouched scene,
+    Python fallback) where the identical drop-tail scene runs natively.
+    """
+
+    @staticmethod
+    def build_network(queue_kind):
+        from repro.netsim.network import Network
+        from repro.tcp.connection import TcpConnection
+
+        from .conftest import make_chain_topology
+
+        topology = make_chain_topology(capacity_mbps=20.0)
+        if queue_kind != "droptail":
+            topology.set_queue_kind(queue_kind)
+        network = Network(topology)
+        network.install_path(["s", "r1", "d"], tag=1, as_default=True)
+        connection = TcpConnection(network, "s", "d", cc="reno", tag=1)
+        connection.start(0.0)
+        return network
+
+    @pytest.mark.parametrize("queue_kind", ["red", "codel"])
+    def test_aqm_scene_is_ineligible(self, queue_kind):
+        from repro import kernel
+        from repro.kernel.pipeline import run_network
+
+        available, reason = kernel.compiled_available()
+        if not available:
+            pytest.skip(f"compiled kernel unavailable: {reason}")
+        with kernel.override("compiled"):
+            ext = kernel.compiled_module()
+            assert ext is not None
+            network = self.build_network(queue_kind)
+            assert run_network(network, 0.5, ext) is None
+            # Positive control: the same scene with drop-tail queues runs
+            # natively, so the decline above is the queue discipline's doing.
+            control = self.build_network("droptail")
+            assert run_network(control, 0.5, ext) is not None

@@ -185,6 +185,8 @@ class TestRunMultiflow:
             "two_mptcp_competition",
             "cross_traffic_perturbation",
             "workload_background",
+            "aqm_vs_droptail",
+            "ecn_mptcp_fairness",
         }
         for builder in COMPETITION_SCENARIOS.values():
             config = builder(duration=1.0)
